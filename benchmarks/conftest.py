@@ -1,0 +1,17 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+The experimental benchmarks share one :class:`ExperimentContext` (its
+construction runs the Section 3.3 calibration microbenchmark).  The
+``workload_scale`` trades fidelity for wall-clock time; 0.5 keeps every
+behavioural signature intact while the full Figure 3 pipeline finishes
+in a couple of minutes.
+"""
+
+import pytest
+
+from repro.harness import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def experiment_context():
+    return ExperimentContext(workload_scale=0.5)

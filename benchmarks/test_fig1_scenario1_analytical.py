@@ -1,0 +1,85 @@
+"""Figure 1 — analytical Scenario I: normalized power vs parallel efficiency.
+
+Regenerates both panels of the paper's Figure 1: normalized power
+consumption ``P_N / P_1`` against nominal parallel efficiency for
+N in {2, 4, 8, 16, 32}, at 130 nm and 65 nm, all configurations forced to
+match the 1-core nominal performance, with the sample application's
+operating points marked.
+
+Shape assertions (the paper's claims):
+
+* power savings grow with efficiency on every curve,
+* every curve crosses below 1.0 (breakeven) by eps_n = 1,
+* larger N reaches breakeven at lower efficiency — up to the static-power
+  reversal at N = 32,
+* at high efficiency the N = 32 curve runs above the N = 16 curve,
+* the sample application's best configuration is not the largest N.
+"""
+
+import pytest
+
+from repro.core import (
+    AnalyticalChipModel,
+    PowerOptimizationScenario,
+    SAMPLE_APPLICATION,
+    figure1_sweep,
+)
+from repro.harness import render_table
+from repro.tech import NODE_130NM, NODE_65NM
+
+
+@pytest.mark.parametrize("node", [NODE_130NM, NODE_65NM], ids=lambda n: n.name)
+def test_figure1(benchmark, node):
+    chip = AnalyticalChipModel(node)
+
+    curves = benchmark.pedantic(
+        lambda: figure1_sweep(chip, efficiency_points=41), rounds=1, iterations=1
+    )
+
+    rows = []
+    for curve in curves:
+        sampled = {
+            round(eps, 2): power
+            for eps, power in zip(curve.efficiencies, curve.normalized_power)
+        }
+        rows.append(
+            [
+                curve.n,
+                sampled.get(0.4, float("nan")),
+                sampled.get(0.6, float("nan")),
+                sampled.get(0.8, float("nan")),
+                sampled.get(1.0, float("nan")),
+                "-" if curve.sample_mark is None else f"{curve.sample_mark[1]:.3f}",
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["N", "P@eps=.4", "P@eps=.6", "P@eps=.8", "P@eps=1.0", "sample-app"],
+            rows,
+            title=f"Figure 1 ({node.name}, T1=100C): normalized power vs eps_n",
+        )
+    )
+
+    by_n = {curve.n: curve for curve in curves}
+    # Savings grow with efficiency on every curve.
+    for curve in curves:
+        powers = curve.normalized_power
+        assert all(b <= a + 1e-9 for a, b in zip(powers, powers[1:]))
+    # Every curve shows savings by eps = 1.
+    for curve in curves:
+        assert curve.normalized_power[-1] < 1.0
+    # High-N curves above low-N at high efficiency (static-power cost).
+    assert by_n[32].normalized_power[-1] > by_n[16].normalized_power[-1]
+
+    # Breakeven efficiency falls from N=2 to N=8.
+    scenario = PowerOptimizationScenario(chip)
+    assert scenario.breakeven_efficiency(8) < scenario.breakeven_efficiency(2)
+
+    # The sample application's optimum is an interior core count.
+    best = scenario.best_configuration(SAMPLE_APPLICATION, (2, 4, 8, 16, 32))
+    assert best.n < 32
+    print(
+        f"sample application: best N = {best.n}, "
+        f"normalized power = {best.normalized_power:.3f}"
+    )

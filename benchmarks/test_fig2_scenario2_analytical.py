@@ -1,0 +1,65 @@
+"""Figure 2 — analytical Scenario II: speedup under a 1-core power budget.
+
+Regenerates the paper's Figure 2: speedup of N-core configurations
+(N = 1..32) with ``eps_n = 1`` and the chip power capped at the 1-core
+full-throttle power, for 130 nm and 65 nm.
+
+Shape assertions (the paper's claims):
+
+* speedup rises, peaks at a moderate N, then *declines* — even for a
+  perfectly scalable application,
+* the 130 nm peak is "a little over 4",
+* the 65 nm curve peaks lower and earlier and collapses faster (its
+  larger static share), running below the 130 nm curve beyond the peak.
+"""
+
+import pytest
+
+from repro.core import AnalyticalChipModel, figure2_sweep
+from repro.harness import render_table
+from repro.tech import NODE_130NM, NODE_65NM
+
+
+@pytest.fixture(scope="module")
+def curves(request):
+    return {}
+
+
+@pytest.mark.parametrize("node", [NODE_130NM, NODE_65NM], ids=lambda n: n.name)
+def test_figure2(benchmark, node, curves):
+    chip = AnalyticalChipModel(node)
+    curve = benchmark.pedantic(lambda: figure2_sweep(chip), rounds=1, iterations=1)
+    curves[node.name] = curve
+
+    lookup = dict(zip(curve.core_counts, curve.speedups))
+    regimes = dict(zip(curve.core_counts, curve.regimes))
+    print()
+    print(
+        render_table(
+            ["N", "speedup", "regime"],
+            [[n, lookup[n], regimes[n]] for n in (1, 2, 4, 8, 12, 16, 24, 32) if n in lookup],
+            title=f"Figure 2 ({node.name}): speedup under the 1-core power budget",
+        )
+    )
+    n_peak, s_peak = curve.peak()
+    print(f"peak: speedup {s_peak:.2f} at N = {n_peak}")
+
+    # Interior peak with strict decline afterwards.
+    speedups = list(curve.speedups)
+    peak_idx = speedups.index(max(speedups))
+    assert 0 < peak_idx < len(speedups) - 1
+    tail = speedups[peak_idx:]
+    assert all(b < a for a, b in zip(tail, tail[1:]))
+
+    if node is NODE_130NM:
+        # "A little over 4".
+        assert 4.0 < s_peak < 5.0
+
+    if len(curves) == 2:
+        c130, c65 = curves["130nm"], curves["65nm"]
+        assert c65.peak()[1] < c130.peak()[1]
+        assert c65.peak()[0] <= c130.peak()[0]
+        map130 = dict(zip(c130.core_counts, c130.speedups))
+        map65 = dict(zip(c65.core_counts, c65.speedups))
+        for n in (10, 12, 16):
+            assert map65[n] < map130[n]

@@ -1,0 +1,46 @@
+"""Sensitivity tornado for the analytical model (extension).
+
+Which constants drive Figures 1 and 2?  The elasticities quantify the
+robustness story: the voltage floor dominates (|elasticity| ~ 2), the
+alpha-power exponent and static share are second-order, and the nominal
+frequency cancels exactly (the metrics are normalized).
+"""
+
+from repro.core.sensitivity import (
+    iso_performance_power_metric,
+    peak_speedup_metric,
+    sensitivity_analysis,
+)
+from repro.harness import render_table
+from repro.tech import NODE_65NM
+
+
+def test_sensitivity_tornado(benchmark):
+    def analyse():
+        return {
+            "fig2 peak speedup": sensitivity_analysis(
+                NODE_65NM, peak_speedup_metric
+            ),
+            "fig1 norm power (N=8, eps=0.8)": sensitivity_analysis(
+                NODE_65NM, iso_performance_power_metric()
+            ),
+        }
+
+    results = benchmark.pedantic(analyse, rounds=1, iterations=1)
+    print()
+    for label, entries in results.items():
+        print(
+            render_table(
+                ["parameter", "elasticity"],
+                [[e.parameter, e.elasticity] for e in entries],
+                title=f"Sensitivity of {label} (baseline "
+                f"{entries[0].baseline_metric:.3f})",
+            )
+        )
+        print()
+        by_name = {e.parameter: e for e in entries}
+        assert by_name["f_nominal"].magnitude < 0.05
+        assert (
+            max(by_name["vth"].magnitude, by_name["noise_margin"].magnitude)
+            > by_name["static_fraction"].magnitude
+        )

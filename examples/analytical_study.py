@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Regenerate the paper's analytical study (Figures 1 and 2) as text.
+
+For each process technology (130 nm and 65 nm):
+
+* Figure 1 — normalized power consumption versus nominal parallel
+  efficiency at iso-performance, for N in {2, 4, 8, 16, 32}, rendered as
+  an ASCII chart with the sample application's operating points marked;
+* Figure 2 — speedup versus core count under the 1-core power budget at
+  perfect efficiency.
+
+Run:  python examples/analytical_study.py
+"""
+
+from repro import AnalyticalChipModel, figure1_sweep, figure2_sweep
+from repro.harness import render_table
+from repro.tech import NODE_130NM, NODE_65NM
+
+#: Efficiencies sampled in the Figure 1 text table.
+EFFICIENCY_COLUMNS = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def ascii_chart(series, width=64, height=16, y_max=3.0):
+    """Plot {label: [(x, y), ...]} into an ASCII grid, x in [0, 1]."""
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    for (label, points), marker in zip(series.items(), markers):
+        for x, y in points:
+            col = min(width - 1, int(x * (width - 1)))
+            if y > y_max:
+                continue
+            row = min(height - 1, int((1.0 - y / y_max) * (height - 1)))
+            grid[row][col] = marker
+    lines = [f"{y_max:>4.1f} |" + "".join(grid[0])]
+    for i, row in enumerate(grid[1:], start=1):
+        y_label = y_max * (1 - i / (height - 1))
+        prefix = f"{y_label:>4.1f} |" if i % 4 == 0 or i == height - 1 else "     |"
+        lines.append(prefix + "".join(row))
+    lines.append("      " + "-" * width)
+    lines.append("      eps_n: 0" + " " * (width - 10) + "1.0")
+    legend = "  ".join(
+        f"{marker}={label}" for (label, _), marker in zip(series.items(), markers)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def figure1(node) -> None:
+    chip = AnalyticalChipModel(node)
+    curves = figure1_sweep(chip, efficiency_points=81)
+
+    rows = []
+    series = {}
+    for curve in curves:
+        def nearest(target):
+            feasible = [
+                (abs(e - target), p)
+                for e, p in zip(curve.efficiencies, curve.normalized_power)
+            ]
+            distance, power = min(feasible, default=(1.0, float("nan")))
+            return power if distance < 0.02 else float("nan")
+
+        rows.append([curve.n] + [nearest(e) for e in EFFICIENCY_COLUMNS])
+        series[f"N={curve.n}"] = list(zip(curve.efficiencies, curve.normalized_power))
+    print(
+        render_table(
+            ["N"] + [f"eps={e}" for e in EFFICIENCY_COLUMNS],
+            rows,
+            title=f"\nFigure 1 ({node.name}): normalized power at iso-performance",
+        )
+    )
+    print()
+    print(ascii_chart(series))
+    marks = [
+        (curve.n, curve.sample_mark)
+        for curve in curves
+        if curve.sample_mark is not None
+    ]
+    print(
+        "\nsample application marks: "
+        + ", ".join(f"N={n}: eps={m[0]:.2f} -> P={m[1]:.2f}" for n, m in marks)
+    )
+
+
+def figure2(node) -> None:
+    chip = AnalyticalChipModel(node)
+    curve = figure2_sweep(chip)
+    n_peak, s_peak = curve.peak()
+    print(
+        render_table(
+            ["N", "speedup", "regime"],
+            list(zip(curve.core_counts, curve.speedups, curve.regimes)),
+            title=f"\nFigure 2 ({node.name}): speedup under the 1-core power "
+            f"budget (eps_n = 1); peak {s_peak:.2f} at N = {n_peak}",
+        )
+    )
+
+
+def main() -> None:
+    for node in (NODE_130NM, NODE_65NM):
+        figure1(node)
+        figure2(node)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Design-space sensitivity: how robust are the paper's effects?
+
+Sweeps three architectural parameters around the Table 1 machine — the
+shared-L2 capacity, the interconnect (the paper's bus versus banked
+crossbars), and the DRAM latency — and shows how a memory-intense
+application's efficiency and stall behaviour respond.  Echoes the
+design-space studies (Huh et al., Ekman & Stenström) the paper's related
+work discusses.
+
+Run:  python examples/design_space.py [app] [n_threads]
+      (defaults: Ocean 8)
+"""
+
+import sys
+
+from repro.harness import render_table
+from repro.harness.asciichart import bar_chart
+from repro.harness.designspace import (
+    interconnect_variants,
+    l2_capacity_variants,
+    memory_latency_variants,
+    sweep_design_parameter,
+)
+from repro.workloads import workload_by_name
+from repro.workloads.base import WorkloadModel
+
+
+def show(title: str, points) -> None:
+    print(
+        render_table(
+            ["variant", "eps_n", "time (us)", "L1 miss", "mem-stall", "ic util"],
+            [
+                [
+                    p.label,
+                    p.nominal_efficiency,
+                    p.execution_time_s * 1e6,
+                    p.l1_miss_rate,
+                    p.memory_stall_fraction,
+                    p.bus_utilisation,
+                ]
+                for p in points
+            ],
+            title=title,
+        )
+    )
+    print()
+    print(bar_chart({p.label: p.nominal_efficiency for p in points}, reference=1.0))
+    print()
+
+
+def main(argv) -> None:
+    app = argv[1] if len(argv) > 1 else "Ocean"
+    n_threads = int(argv[2]) if len(argv) > 2 else 8
+    model = WorkloadModel(workload_by_name(app).spec.scaled(0.25))
+
+    print(f"Sweeping the machine around Table 1 for {app} @ {n_threads} cores\n")
+    show(
+        "Shared L2 capacity (Table 1: 4 MB)",
+        sweep_design_parameter(model, l2_capacity_variants(), n_threads),
+    )
+    show(
+        "Interconnect (Table 1: shared bus)",
+        sweep_design_parameter(model, interconnect_variants(), n_threads),
+    )
+    show(
+        "DRAM round trip (Table 1: 75 ns, DVFS-independent)",
+        sweep_design_parameter(model, memory_latency_variants(), n_threads),
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

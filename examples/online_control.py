@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Online power/thermal control: governors and activity migration.
+
+The paper picks operating points offline (profile, solve, re-run).
+This example shows the control loops a deployed chip would use instead,
+built on the incremental :class:`~repro.sim.cmp.ChipSession`:
+
+1. a **budget-chasing governor** walking the frequency ladder until chip
+   power sits at the Scenario II budget — and converging onto the
+   offline oracle's answer;
+2. a **memory-slack governor** that slows the chip only while execution
+   is memory-stall dominated;
+3. **activity migration**: rotating a hot thread over idle cores to
+   flatten the thermal peak.
+
+Run:  python examples/online_control.py
+"""
+
+from repro.harness import (
+    ExperimentContext,
+    MemorySlackGovernor,
+    PerformanceGovernor,
+    compare_migration,
+    render_table,
+    run_governed,
+    run_scenario2,
+)
+from repro.workloads import workload_by_name
+
+
+def budget_governor(context: ExperimentContext) -> None:
+    budget = 0.7 * context.calibration.max_operational_power_w
+    model = workload_by_name("Cholesky")
+    oracle = run_scenario2(context, [model], core_counts=(8,), budget_w=budget)[
+        "Cholesky"
+    ][0]
+    governed = run_governed(
+        context, model, 8, PerformanceGovernor(budget_w=budget, step_hz=600e6)
+    )
+    print(
+        render_table(
+            ["window", "f (GHz)", "P (W)", "mem-stall"],
+            [
+                [w.index, w.frequency_hz / 1e9, w.power_w, w.memory_stall_fraction]
+                for w in governed.windows
+            ],
+            title=f"Budget governor on Cholesky @ 8 cores (budget {budget:.1f} W)",
+        )
+    )
+    print(
+        f"offline oracle picked {oracle.frequency_hz / 1e9:.1f} GHz; the online\n"
+        f"ladder converged to {governed.frequency_trajectory[-1] / 1e9:.1f} GHz "
+        f"with average power {governed.average_power_w:.1f} W\n"
+    )
+
+
+def slack_governor(context: ExperimentContext) -> None:
+    rows = []
+    for app in ("Radix", "FMM"):
+        governed = run_governed(
+            context, workload_by_name(app), 4, MemorySlackGovernor()
+        )
+        rows.append(
+            [
+                app,
+                " ".join(f"{f / 1e9:.1f}" for f in governed.frequency_trajectory),
+                governed.average_power_w,
+            ]
+        )
+    print(
+        render_table(
+            ["app", "frequency trajectory (GHz)", "avg P (W)"],
+            rows,
+            title="Memory-slack governor @ 4 cores",
+        )
+    )
+    print(
+        "Radix (memory-bound) is driven down the ladder; FMM stays at the\n"
+        "top once its caches warm — frequency only matters when the chip\n"
+        "is actually computing.\n"
+    )
+
+
+def migration(context: ExperimentContext) -> None:
+    pinned, rotated = compare_migration(
+        context, workload_by_name("FMM"), rotation_set=4
+    )
+    print(
+        render_table(
+            ["policy", "peak T (C)", "time (us)", "L1 miss"],
+            [
+                [r.policy, r.peak_temperature_c, r.total_time_s * 1e6, r.l1_miss_rate]
+                for r in (pinned, rotated)
+            ],
+            title="Activity migration: one hot FMM thread, 4 candidate cores",
+        )
+    )
+    print(
+        "Rotation spreads the heat over four cores' silicon — a lower\n"
+        "thermal peak bought with post-hop cold caches."
+    )
+
+
+def main() -> None:
+    print("Building the experiment context (calibration microbenchmark)...\n")
+    context = ExperimentContext(workload_scale=0.2)
+    budget_governor(context)
+    slack_governor(context)
+    migration(context)
+
+
+if __name__ == "__main__":
+    main()

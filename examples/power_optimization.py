@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Experimental Scenario I (Figure 3) on a chosen set of applications.
+
+Profiles each application at nominal V/f, derives its Eq. 7 target
+frequencies, re-simulates at the scaled operating points, and prints the
+five Figure 3 panels as one table.
+
+Run:  python examples/power_optimization.py [app ...]
+      (default: FMM LU Ocean Cholesky Radix)
+"""
+
+import sys
+
+from repro.harness import ExperimentContext, render_table, run_scenario1
+from repro.workloads import workload_by_name
+
+DEFAULT_APPS = ("FMM", "LU", "Ocean", "Cholesky", "Radix")
+
+
+def main(argv) -> None:
+    apps = argv[1:] or list(DEFAULT_APPS)
+    models = [workload_by_name(app) for app in apps]
+
+    print("Building the experiment context (runs the calibration ubench)...")
+    context = ExperimentContext(workload_scale=0.25)
+    print(
+        f"  max operational power (1 core @ 100 C): "
+        f"{context.calibration.max_operational_power_w:.1f} W\n"
+    )
+
+    results = run_scenario1(context, models)
+
+    rows = []
+    for app in apps:
+        for r in results[app]:
+            rows.append(
+                [
+                    app,
+                    r.n,
+                    r.nominal_efficiency,
+                    r.actual_speedup,
+                    r.normalized_power,
+                    r.normalized_power_density,
+                    r.average_temperature_c,
+                    r.frequency_hz / 1e9,
+                    r.voltage,
+                ]
+            )
+    print(
+        render_table(
+            [
+                "app",
+                "N",
+                "eps_n",
+                "speedup",
+                "norm-P",
+                "norm-dens",
+                "T (C)",
+                "f (GHz)",
+                "V",
+            ],
+            rows,
+            title="Figure 3: experimental Scenario I",
+        )
+    )
+
+    print(
+        "\nReading the table like the paper does:\n"
+        "  * eps_n falls as N grows (parallel overheads);\n"
+        "  * speedup > 1 despite the iso-performance target: chip DVFS\n"
+        "    does not slow the 75 ns memory, so memory-bound codes gain;\n"
+        "  * norm-P < 1 is the power saving; poor scalers see it stagnate\n"
+        "    or recede at 16 cores;\n"
+        "  * norm-dens collapses roughly an order of magnitude by N=16;\n"
+        "  * temperature falls toward the 45 C ambient, fastest for the\n"
+        "    power-hungry applications."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Quickstart: the library's two halves in two minutes.
+
+1. The **analytical model** (paper Section 2): how many cores should a
+   parallel application use, and at what voltage/frequency, to minimise
+   power at fixed performance — or maximise performance at fixed power?
+2. The **experimental model** (Sections 3-4): the same questions asked of
+   a cycle-level CMP simulator running a synthetic SPLASH-2 workload.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnalyticalChipModel,
+    MeasuredEfficiency,
+    PerformanceOptimizationScenario,
+    PowerOptimizationScenario,
+)
+from repro.area import CMPAreaModel
+from repro.harness import ExperimentContext, render_table
+from repro.tech import NODE_65NM
+from repro.workloads import workload_by_name
+
+
+def table1_configuration() -> None:
+    """Print the machine of the paper's Table 1."""
+    area = CMPAreaModel()
+    print(
+        render_table(
+            ["parameter", "value"],
+            [
+                ["CMP size", "16-way"],
+                ["core", "Alpha 21264 (EV6)-class"],
+                ["process", "65 nm"],
+                ["nominal frequency", "3.2 GHz"],
+                ["nominal Vdd / Vth", "1.1 V / 0.18 V"],
+                ["ambient temperature", "45 C"],
+                ["die size", f"{area.die_area_mm2():.1f} mm^2 "
+                             f"({area.die_side_mm():.1f} mm square)"],
+                ["L1 I/D", "64 KB, 64 B lines, 2-way, 2-cycle RT"],
+                ["L2 (shared)", "4 MB, 128 B lines, 8-way, 12-cycle RT"],
+                ["memory", "75 ns RT"],
+            ],
+            title="Table 1: the modelled CMP",
+        )
+    )
+    print()
+
+
+def analytical_half() -> None:
+    """Scenario I and II on the closed-form model."""
+    chip = AnalyticalChipModel(NODE_65NM)
+
+    # An application measured at eps_n = 0.9/0.8/0.65/0.5 on 2/4/8/16
+    # cores (the paper's Figure 1 sample application).
+    app = MeasuredEfficiency({2: 0.9, 4: 0.8, 8: 0.65, 16: 0.5})
+
+    power_opt = PowerOptimizationScenario(chip)
+    best = power_opt.best_configuration(app, (2, 4, 8, 16, 32))
+    print(
+        f"Scenario I (match 1-core performance, minimise power):\n"
+        f"  best configuration: {best.n} cores at "
+        f"{best.frequency_hz / 1e9:.2f} GHz / {best.voltage:.2f} V\n"
+        f"  chip power: {best.normalized_power:.0%} of the 1-core baseline, "
+        f"die at {best.temperature_celsius:.0f} C\n"
+    )
+
+    perf_opt = PerformanceOptimizationScenario(chip)
+    best = perf_opt.best_configuration(app, range(1, 33))
+    print(
+        f"Scenario II (1-core power budget, maximise speedup):\n"
+        f"  best configuration: {best.n} cores at "
+        f"{best.frequency_hz / 1e9:.2f} GHz / {best.voltage:.2f} V "
+        f"({best.regime} regime)\n"
+        f"  speedup {best.speedup:.2f}x within "
+        f"{best.power.total_w:.0f} W\n"
+    )
+
+
+def experimental_half() -> None:
+    """One simulated data point: FMM on 4 cores, nominal vs scaled."""
+    print("Simulating FMM on the 16-way CMP (short run)...")
+    context = ExperimentContext(workload_scale=0.1)
+    fmm = workload_by_name("FMM")
+
+    nominal, nominal_power = context.run(fmm, 4)
+    t1, _ = context.run(fmm, 1)
+    eps = t1.execution_time_ps / (4 * nominal.execution_time_ps)
+    target_f = context.clamp_frequency(context.f_nominal / (4 * eps))
+    scaled, scaled_power = context.run(fmm, 4, target_f)
+
+    print(
+        render_table(
+            ["configuration", "f (GHz)", "time (us)", "power (W)", "T avg (C)"],
+            [
+                [
+                    "4 cores, nominal V/f",
+                    3.2,
+                    nominal.execution_time_s * 1e6,
+                    nominal_power.total_w,
+                    nominal_power.average_temperature_c,
+                ],
+                [
+                    "4 cores, iso-performance DVFS",
+                    target_f / 1e9,
+                    scaled.execution_time_s * 1e6,
+                    scaled_power.total_w,
+                    scaled_power.average_temperature_c,
+                ],
+            ],
+            title=f"FMM, nominal efficiency eps_n(4) = {eps:.2f}",
+        )
+    )
+
+
+def main() -> None:
+    table1_configuration()
+    analytical_half()
+    experimental_half()
+
+
+if __name__ == "__main__":
+    main()

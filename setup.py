@@ -1,0 +1,5 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package, so
+`pip install -e . --no-build-isolation` falls back to `setup.py develop`."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""repro — a reproduction of Li & Martinez, "Power-Performance
+Implications of Thread-level Parallelism on Chip Multiprocessors"
+(ISPASS 2005).
+
+The library has two halves, mirroring the paper:
+
+**Analytical model** (:mod:`repro.core`, Section 2): parallel efficiency
++ granularity + DVFS in closed form over CMOS power equations.
+
+    >>> from repro import AnalyticalChipModel, PowerOptimizationScenario
+    >>> from repro.tech import NODE_65NM
+    >>> chip = AnalyticalChipModel(NODE_65NM)
+    >>> point = PowerOptimizationScenario(chip).solve(n=8, eps_n=0.8)
+    >>> point.normalized_power < 1.0
+    True
+
+**Experimental model** (:mod:`repro.sim` / :mod:`repro.workloads` /
+:mod:`repro.power` / :mod:`repro.thermal` / :mod:`repro.harness`,
+Sections 3-4): a 16-way EV6-class CMP simulator with MESI coherence,
+Wattch-style power, HotSpot-style thermals, and synthetic SPLASH-2
+workload models, driven by the Figure 3 / Figure 4 pipelines.
+
+    >>> from repro.harness import ExperimentContext, run_scenario1
+    >>> from repro.workloads import workload_by_name
+    >>> ctx = ExperimentContext(workload_scale=0.05)   # doctest: +SKIP
+    >>> rows = run_scenario1(ctx, [workload_by_name("FMM")])  # doctest: +SKIP
+"""
+
+from repro.core import (
+    AnalyticalChipModel,
+    AmdahlEfficiency,
+    CommunicationOverheadEfficiency,
+    ConstantEfficiency,
+    MeasuredEfficiency,
+    PerformanceOptimizationScenario,
+    PowerOptimizationScenario,
+    SAMPLE_APPLICATION,
+    figure1_sweep,
+    figure2_sweep,
+)
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    InfeasibleOperatingPoint,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.tech import NODE_130NM, NODE_65NM, TechnologyNode, VFTable
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticalChipModel",
+    "AmdahlEfficiency",
+    "CommunicationOverheadEfficiency",
+    "ConstantEfficiency",
+    "MeasuredEfficiency",
+    "PerformanceOptimizationScenario",
+    "PowerOptimizationScenario",
+    "SAMPLE_APPLICATION",
+    "figure1_sweep",
+    "figure2_sweep",
+    "ConfigurationError",
+    "ConvergenceError",
+    "InfeasibleOperatingPoint",
+    "ReproError",
+    "SimulationError",
+    "WorkloadError",
+    "NODE_130NM",
+    "NODE_65NM",
+    "TechnologyNode",
+    "VFTable",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""CACTI-style cache area / timing / energy estimation.
+
+The paper uses CACTI [40] to size its chip (Table 1's 244.5 mm^2 die) and,
+through Wattch, to cost cache accesses.  :mod:`repro.area.cacti` provides
+a simplified analytical stand-in calibrated to the paper's published
+numbers: the Table 1 cache latencies and the 15.6 mm x 15.6 mm die.
+"""
+
+from repro.area.cacti import CacheGeometry, CactiModel, CMPAreaModel
+
+__all__ = ["CacheGeometry", "CactiModel", "CMPAreaModel"]

@@ -1,0 +1,172 @@
+"""A simplified CACTI: cache area, access time, and per-access energy.
+
+CACTI [40] solves a detailed RC model of SRAM arrays.  For this
+reproduction we only need three well-behaved outputs, so we use standard
+first-order scaling laws calibrated against the paper's own numbers:
+
+* **area** — a 6T SRAM bit cell occupies ~146 F^2 plus array overhead
+  (decoders, sense amps, tags); total array area scales linearly with
+  capacity and quadratically with feature size.
+* **access time** — grows with the square root of capacity (wordline /
+  bitline flight) on top of a fixed sense/decode floor, scaled linearly
+  with feature size.  The two Table 1 points (64 KB -> 2 cycles and
+  4 MB -> 12 cycles at 3.2 GHz, 65 nm) pin the constants.
+* **energy per access** — proportional to the square root of capacity
+  (one wordline + bitlines swing) and to V^2, scaled with feature size.
+
+:class:`CMPAreaModel` combines core and cache areas into the die-size
+estimate of Table 1 (244.5 mm^2 for the 16-way EV6 CMP at 65 nm).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: 6T SRAM cell size in units of F^2, including a typical array overhead.
+_SRAM_CELL_F2 = 146.0
+#: Array peripheral overhead multiplier (decoders, sense amps, tags).
+_ARRAY_OVERHEAD = 1.45
+
+#: Access-time constants calibrated so a 64 KB cache takes 0.625 ns (2
+#: cycles at 3.2 GHz) and a 4 MB cache 3.75 ns (12 cycles) at 65 nm.
+_T_FLOOR_NS_65 = 0.17857
+_T_SQRT_NS_65_PER_SQRT_KB = 0.05580
+
+#: Energy constant: a 64 KB access costs ~0.20 nJ at 65 nm, 1.1 V
+#: (Wattch-class value); scales with sqrt(capacity).
+_E_SQRT_NJ_65_PER_SQRT_KB = 0.025
+
+#: Reference feature size the constants are calibrated at.
+_REFERENCE_NM = 65.0
+#: Reference supply for the energy constant.
+_REFERENCE_V = 1.1
+
+#: EV6 die area at its native 350 nm process (mm^2), used to scale the
+#: core area the way the paper does ("similar to [25]").
+_EV6_AREA_MM2_350NM = 209.0
+_EV6_NATIVE_NM = 350.0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Capacity / organisation of one cache array."""
+
+    capacity_bytes: int
+    line_bytes: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ConfigurationError("cache geometry values must be positive")
+        if self.capacity_bytes % (self.line_bytes * self.associativity):
+            raise ConfigurationError(
+                "capacity must be a multiple of line_bytes * associativity"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.capacity_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def capacity_kb(self) -> float:
+        """Capacity in kilobytes."""
+        return self.capacity_bytes / 1024.0
+
+
+#: Table 1 cache organisations.
+L1_GEOMETRY = CacheGeometry(capacity_bytes=64 * 1024, line_bytes=64, associativity=2)
+L2_GEOMETRY = CacheGeometry(
+    capacity_bytes=4 * 1024 * 1024, line_bytes=128, associativity=8
+)
+
+
+class CactiModel:
+    """Analytical cache area / time / energy estimates for one process node."""
+
+    def __init__(self, feature_nm: float) -> None:
+        if feature_nm <= 0:
+            raise ConfigurationError("feature size must be positive")
+        self.feature_nm = feature_nm
+
+    def area_mm2(self, geometry: CacheGeometry) -> float:
+        """Silicon area of the cache array in mm^2."""
+        f_m = self.feature_nm * 1e-9
+        bits = geometry.capacity_bytes * 8
+        cell_area_m2 = _SRAM_CELL_F2 * f_m * f_m
+        return bits * cell_area_m2 * _ARRAY_OVERHEAD * 1e6
+
+    def access_time_ns(self, geometry: CacheGeometry) -> float:
+        """Random-access latency in nanoseconds."""
+        scale = self.feature_nm / _REFERENCE_NM
+        return scale * (
+            _T_FLOOR_NS_65
+            + _T_SQRT_NS_65_PER_SQRT_KB * math.sqrt(geometry.capacity_kb)
+        )
+
+    def access_cycles(self, geometry: CacheGeometry, frequency_hz: float) -> int:
+        """Round-trip latency in (ceiling) clock cycles at ``frequency_hz``."""
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        return max(1, math.ceil(self.access_time_ns(geometry) * 1e-9 * frequency_hz))
+
+    def energy_per_access_nj(self, geometry: CacheGeometry, voltage: float) -> float:
+        """Dynamic energy of one access, in nanojoules, at supply ``voltage``."""
+        if voltage <= 0:
+            raise ConfigurationError("voltage must be positive")
+        scale = (self.feature_nm / _REFERENCE_NM) * (voltage / _REFERENCE_V) ** 2
+        return scale * _E_SQRT_NJ_65_PER_SQRT_KB * math.sqrt(geometry.capacity_kb)
+
+
+class CMPAreaModel:
+    """Die-area estimate for the paper's CMP (Table 1).
+
+    Sums scaled EV6 core areas (each with its private L1s) and the shared
+    L2, plus a fixed interconnect/IO overhead fraction.  With the default
+    constants the 16-core 65 nm configuration lands on the paper's
+    244.5 mm^2 (15.6 mm x 15.6 mm).
+    """
+
+    def __init__(
+        self,
+        feature_nm: float = 65.0,
+        n_cores: int = 16,
+        l2_geometry: CacheGeometry = L2_GEOMETRY,
+        l1_geometry: CacheGeometry = L1_GEOMETRY,
+        overhead_fraction: float = 0.344,
+    ) -> None:
+        if n_cores < 1:
+            raise ConfigurationError("need at least one core")
+        if not 0.0 <= overhead_fraction < 1.0:
+            raise ConfigurationError("overhead_fraction must be in [0, 1)")
+        self.cacti = CactiModel(feature_nm)
+        self.feature_nm = feature_nm
+        self.n_cores = n_cores
+        self.l2_geometry = l2_geometry
+        self.l1_geometry = l1_geometry
+        self.overhead_fraction = overhead_fraction
+
+    def core_area_mm2(self) -> float:
+        """One EV6 core (logic only) scaled quadratically to this node."""
+        scale = (self.feature_nm / _EV6_NATIVE_NM) ** 2
+        return _EV6_AREA_MM2_350NM * scale
+
+    def core_with_l1_area_mm2(self) -> float:
+        """Core plus its private L1 instruction and data caches."""
+        return self.core_area_mm2() + 2 * self.cacti.area_mm2(self.l1_geometry)
+
+    def l2_area_mm2(self) -> float:
+        """The shared L2 array."""
+        return self.cacti.area_mm2(self.l2_geometry)
+
+    def die_area_mm2(self) -> float:
+        """Total die area including interconnect/IO overhead."""
+        logic = self.n_cores * self.core_with_l1_area_mm2() + self.l2_area_mm2()
+        return logic / (1.0 - self.overhead_fraction)
+
+    def die_side_mm(self) -> float:
+        """Side of the (square) die in millimetres."""
+        return math.sqrt(self.die_area_mm2())

@@ -1,0 +1,327 @@
+"""Command-line interface: regenerate the paper's figures from a shell.
+
+Installed behaviours (also reachable via ``python -m repro``):
+
+* ``repro fig1 [--tech 130nm|65nm]`` — analytical Scenario I sweep,
+* ``repro fig2 [--tech ...]`` — analytical Scenario II speedup curve,
+* ``repro fig3 [--apps ...] [--scale X]`` — experimental Scenario I,
+* ``repro fig4 [--apps ...] [--scale X]`` — experimental Scenario II,
+* ``repro characterize [--scale X]`` — workload-model signatures,
+* ``repro info`` — machine configuration (Table 1) and suite (Table 2).
+
+The experimental commands accept ``--scale`` to trade run length for
+fidelity (1.0 = the calibrated default run length).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import AnalyticalChipModel, figure1_sweep, figure2_sweep
+from repro.harness import render_table
+from repro.tech import technology_by_name
+
+
+def _add_tech_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tech",
+        default="65nm",
+        choices=("130nm", "65nm", "32nm"),
+        help="process technology node (default: 65nm)",
+    )
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="workload run-length scale, 1.0 = full (default: 0.25)",
+    )
+
+
+def _add_apps_argument(parser: argparse.ArgumentParser, default: Sequence[str]) -> None:
+    parser.add_argument(
+        "--apps",
+        nargs="+",
+        default=list(default),
+        help=f"applications to run (default: {' '.join(default)})",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Li & Martinez, 'Power-Performance Implications "
+            "of Thread-level Parallelism on Chip Multiprocessors' (ISPASS 2005)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fig1 = commands.add_parser("fig1", help="analytical Figure 1")
+    _add_tech_argument(fig1)
+
+    fig2 = commands.add_parser("fig2", help="analytical Figure 2")
+    _add_tech_argument(fig2)
+
+    fig3 = commands.add_parser("fig3", help="experimental Figure 3")
+    _add_apps_argument(fig3, ("FMM", "LU", "Ocean", "Cholesky", "Radix"))
+    _add_scale_argument(fig3)
+
+    fig4 = commands.add_parser("fig4", help="experimental Figure 4")
+    _add_apps_argument(fig4, ("FMM", "Cholesky", "Radix"))
+    _add_scale_argument(fig4)
+
+    characterize = commands.add_parser(
+        "characterize", help="workload-model signatures"
+    )
+    _add_scale_argument(characterize)
+
+    commands.add_parser("info", help="machine and suite summary")
+
+    report = commands.add_parser(
+        "report", help="run everything and write a markdown report"
+    )
+    _add_scale_argument(report)
+    report.add_argument(
+        "--output",
+        default="repro_report.md",
+        help="output file (default: repro_report.md)",
+    )
+    report.add_argument(
+        "--analytical-only",
+        action="store_true",
+        help="skip the (slower) experimental pipelines",
+    )
+
+    verify = commands.add_parser(
+        "verify", help="self-check the reproduction's claims"
+    )
+    verify.add_argument(
+        "--analytical-only",
+        action="store_true",
+        help="skip the (slower) experimental checks",
+    )
+    verify.add_argument(
+        "--scale",
+        type=float,
+        default=0.15,
+        help="workload scale for the experimental checks (default: 0.15)",
+    )
+    return parser
+
+
+def _cmd_fig1(args) -> int:
+    chip = AnalyticalChipModel(technology_by_name(args.tech))
+    curves = figure1_sweep(chip, efficiency_points=41)
+    rows = []
+    for curve in curves:
+        pairs = list(zip(curve.efficiencies, curve.normalized_power))
+        for eps, power in pairs:
+            if round(eps * 100) % 10 == 0:  # print a decile grid
+                rows.append([curve.n, eps, power])
+    print(
+        render_table(
+            ["N", "eps_n", "P_N / P_1"],
+            rows,
+            title=f"Figure 1 ({args.tech}): normalized power at iso-performance",
+        )
+    )
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    chip = AnalyticalChipModel(technology_by_name(args.tech))
+    curve = figure2_sweep(chip)
+    print(
+        render_table(
+            ["N", "speedup", "regime"],
+            list(zip(curve.core_counts, curve.speedups, curve.regimes)),
+            title=f"Figure 2 ({args.tech}): speedup under the 1-core power budget",
+        )
+    )
+    n_peak, s_peak = curve.peak()
+    print(f"peak: {s_peak:.2f}x at N = {n_peak}")
+    return 0
+
+
+def _experimental_context(scale: float):
+    from repro.harness import ExperimentContext
+
+    print("building experiment context (calibration microbenchmark)...")
+    return ExperimentContext(workload_scale=scale)
+
+
+def _cmd_fig3(args) -> int:
+    from repro.harness import run_scenario1
+    from repro.workloads import workload_by_name
+
+    context = _experimental_context(args.scale)
+    models = [workload_by_name(app) for app in args.apps]
+    results = run_scenario1(context, models)
+    rows = [
+        [
+            app,
+            r.n,
+            r.nominal_efficiency,
+            r.actual_speedup,
+            r.normalized_power,
+            r.normalized_power_density,
+            r.average_temperature_c,
+        ]
+        for app, app_rows in results.items()
+        for r in app_rows
+    ]
+    print(
+        render_table(
+            ["app", "N", "eps_n", "speedup", "norm-P", "norm-dens", "T (C)"],
+            rows,
+            title="Figure 3: experimental Scenario I",
+        )
+    )
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from repro.harness import run_scenario2
+    from repro.workloads import workload_by_name
+
+    context = _experimental_context(args.scale)
+    models = [workload_by_name(app) for app in args.apps]
+    results = run_scenario2(
+        context, models, core_counts=(1, 2, 4, 8, 12, 16)
+    )
+    rows = [
+        [app, r.n, r.nominal_speedup, r.actual_speedup, r.frequency_hz / 1e9, r.power_w]
+        for app, app_rows in results.items()
+        for r in app_rows
+    ]
+    print(
+        render_table(
+            ["app", "N", "nominal", "actual", "f (GHz)", "P (W)"],
+            rows,
+            title="Figure 4: speedup under the 1-core power budget",
+        )
+    )
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    from repro.harness.profiling import profile_application
+    from repro.workloads import SPLASH2
+
+    context = _experimental_context(args.scale)
+    rows = []
+    for model in SPLASH2:
+        profile = profile_application(context, model, (1, 16))
+        entry = profile.entries[1]
+        rows.append(
+            [
+                model.name,
+                entry.result.average_cpi,
+                entry.result.l1_miss_rate(),
+                entry.result.memory_stall_fraction(),
+                profile.nominal_efficiency(16),
+                entry.power.total_w,
+            ]
+        )
+    print(
+        render_table(
+            ["app", "CPI", "L1 miss", "mem-stall", "eps_n(16)", "P1 (W)"],
+            rows,
+            title="SPLASH-2 workload models at nominal V/f",
+        )
+    )
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    from repro.area import CMPAreaModel
+    from repro.workloads import SPLASH2
+
+    area = CMPAreaModel()
+    print(
+        render_table(
+            ["parameter", "value"],
+            [
+                ["CMP", "16-way EV6-class, 65 nm, 3.2 GHz, 1.1 V"],
+                ["die", f"{area.die_area_mm2():.1f} mm^2"],
+                ["L1", "64 KB / 64 B / 2-way, 2-cycle RT"],
+                ["L2", "4 MB shared / 128 B / 8-way, 12-cycle RT"],
+                ["memory", "75 ns RT, DVFS-independent"],
+            ],
+            title="Table 1 machine",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["application", "problem size"],
+            [[m.name, m.spec.problem_size] for m in SPLASH2],
+            title="Table 2 applications",
+        )
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness.report import ReportOptions, generate_report
+
+    options = ReportOptions(
+        include_experimental=not args.analytical_only,
+        workload_scale=args.scale,
+    )
+    document = generate_report(options)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    print(f"wrote {args.output} ({len(document.splitlines())} lines)")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.validation import run_verification
+
+    results = run_verification(
+        include_experimental=not args.analytical_only, scale=args.scale
+    )
+    rows = [
+        [
+            "PASS" if r.passed else "FAIL",
+            r.name,
+            f"{r.seconds:.1f}s",
+            r.detail,
+        ]
+        for r in results
+    ]
+    print(render_table(["status", "check", "time", "detail"], rows))
+    failed = [r for r in results if not r.passed]
+    print(
+        f"\n{len(results) - len(failed)}/{len(results)} checks passed"
+        + ("" if not failed else f"; FAILED: {', '.join(r.name for r in failed)}")
+    )
+    return 1 if failed else 0
+
+
+_COMMANDS = {
+    "fig1": _cmd_fig1,
+    "fig2": _cmd_fig2,
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "characterize": _cmd_characterize,
+    "info": _cmd_info,
+    "report": _cmd_report,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Asymmetric CMP analysis: the Grochowski et al. [13] discussion, solved.
+
+The paper's related work highlights Grochowski et al.'s conclusion that
+the best way to serve both scalar and throughput performance in a
+power-constrained envelope is **DVFS combined with asymmetric cores**:
+run serial phases on a big, fast core and parallel phases on many small
+ones.  The paper itself stays with a symmetric CMP; this module extends
+its analytical machinery to the asymmetric case so the two designs can
+be compared under the same power budget.
+
+Model
+-----
+The application has a serial fraction ``s`` (Amdahl) and otherwise
+perfect parallelism over the small cores.  The chip hosts one big core
+and ``N`` small cores on the paper's technology/power substrate:
+
+* the big core sustains ``big_speed`` times the small core's nominal
+  single-thread performance and consumes ``big_power`` times its
+  nominal power (classic area-performance trade: speed ~ sqrt(area),
+  power ~ area, so e.g. speed 2x / power 4x);
+* phases are mutually exclusive: the serial phase runs the big core
+  alone (small cores power-gated), the parallel phase runs the small
+  cores alone (big core gated) — each phase independently uses the
+  full power budget through its own V/f scaling.
+
+Execution time relative to one small core at nominal::
+
+    T(N) = s / S_serial + (1 - s) / S_parallel(N)
+
+where ``S_serial`` is the big core's budget-legal speed and
+``S_parallel`` the symmetric Scenario II speedup of the small-core pool.
+The symmetric baseline is the same with the serial phase on one small
+core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.powermodel import AnalyticalChipModel
+from repro.core.scenario2 import PerformanceOptimizationScenario
+from repro.errors import ConfigurationError, InfeasibleOperatingPoint
+
+
+@dataclass(frozen=True)
+class AsymmetricPoint:
+    """One asymmetric configuration's solution under the budget."""
+
+    n_small: int
+    serial_fraction: float
+    serial_speed: float
+    parallel_speedup: float
+    total_speedup: float
+    #: The symmetric chip's speedup on the same workload and budget.
+    symmetric_speedup: float
+
+    @property
+    def advantage(self) -> float:
+        """Asymmetric over symmetric speedup ratio."""
+        return self.total_speedup / self.symmetric_speedup
+
+
+class AsymmetricCMPModel:
+    """Big-core + small-core pool analysis over the analytical substrate."""
+
+    def __init__(
+        self,
+        chip: AnalyticalChipModel,
+        big_speed: float = 2.0,
+        big_power: float = 4.0,
+    ) -> None:
+        if big_speed < 1.0:
+            raise ConfigurationError("big core must be at least as fast as small")
+        if big_power < big_speed:
+            raise ConfigurationError(
+                "big core power must be >= its speed (superlinear cost of ILP)"
+            )
+        self.chip = chip
+        self.big_speed = big_speed
+        self.big_power = big_power
+        self._scenario = PerformanceOptimizationScenario(chip)
+
+    def _serial_speed_under_budget(self) -> float:
+        """The big core's budget-legal speed relative to a nominal small core.
+
+        The big core at nominal V/f consumes ``big_power`` x the small
+        core's nominal power but the budget is only 1 x; it must scale
+        V/f down.  We reuse the symmetric solver: a chip of
+        ``round(big_power)`` nominal-power units behaves like the big
+        core power-wise, and its per-unit frequency ratio applies to the
+        big core's clock.  (The paper's Eq. 10 logic with N replaced by
+        the power multiple.)
+        """
+        power_units = max(1, round(self.big_power))
+        point = self._scenario.solve(power_units, 1.0)
+        frequency_ratio = point.frequency_hz / self.chip.tech.f_nominal
+        return self.big_speed * frequency_ratio
+
+    def solve(self, n_small: int, serial_fraction: float) -> AsymmetricPoint:
+        """Speedup of the asymmetric chip on an Amdahl workload."""
+        if not 0.0 <= serial_fraction <= 1.0:
+            raise ConfigurationError("serial fraction must be in [0, 1]")
+        if n_small < 1:
+            raise ConfigurationError("need at least one small core")
+
+        serial_speed = min(self.big_speed, self._serial_speed_under_budget())
+        parallel = self._scenario.solve(n_small, 1.0)
+        parallel_speedup = parallel.speedup
+
+        s = serial_fraction
+        asymmetric_time = s / serial_speed + (1.0 - s) / parallel_speedup
+        symmetric_time = s / 1.0 + (1.0 - s) / parallel_speedup
+
+        return AsymmetricPoint(
+            n_small=n_small,
+            serial_fraction=s,
+            serial_speed=serial_speed,
+            parallel_speedup=parallel_speedup,
+            total_speedup=1.0 / asymmetric_time,
+            symmetric_speedup=1.0 / symmetric_time,
+        )
+
+    def best_configuration(
+        self,
+        serial_fraction: float,
+        candidates: Iterable[int],
+    ) -> AsymmetricPoint:
+        """The small-core count maximising the asymmetric speedup."""
+        best: Optional[AsymmetricPoint] = None
+        for n in candidates:
+            try:
+                point = self.solve(n, serial_fraction)
+            except InfeasibleOperatingPoint:
+                continue
+            if best is None or point.total_speedup > best.total_speedup:
+                best = point
+        if best is None:
+            raise InfeasibleOperatingPoint("no feasible asymmetric configuration")
+        return best

@@ -1,0 +1,153 @@
+"""Parallel-efficiency curves ``eps_n(N)``.
+
+The paper characterises an application by its *nominal parallel
+efficiency* (Eq. 6): the efficiency measured with every core at nominal
+frequency, which folds in both parallel overheads (communication,
+load imbalance — ``eps_n < 1``) and parallel benefits (aggregate cache
+capacity — superlinear ``eps_n > 1``).
+
+The analytical scenarios take any callable ``N -> eps_n(N)``; this module
+provides the standard shapes:
+
+* :class:`ConstantEfficiency` — the ``eps_n = 1`` idealisation of Fig. 2;
+* :class:`AmdahlEfficiency` — a serial-fraction limit;
+* :class:`CommunicationOverheadEfficiency` — efficiency eroded by a
+  communication term that grows with N (the typical SPLASH-2 shape);
+* :class:`MeasuredEfficiency` — table-driven, e.g. from simulator
+  profiling runs (Section 4.1) or from the paper's sample application
+  marks in Figure 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class EfficiencyCurve(Protocol):
+    """Anything mapping a core count to a nominal parallel efficiency."""
+
+    def __call__(self, n: int) -> float:
+        """Nominal parallel efficiency at ``n`` cores."""
+
+
+def _require_positive_n(n: int) -> None:
+    if n < 1:
+        raise ConfigurationError(f"core count must be >= 1, got {n}")
+
+
+@dataclass(frozen=True)
+class ConstantEfficiency:
+    """``eps_n(N) = value`` for every N; ``value = 1`` is perfect scaling."""
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.value <= 0:
+            raise ConfigurationError("efficiency must be positive")
+
+    def __call__(self, n: int) -> float:
+        _require_positive_n(n)
+        return 1.0 if n == 1 else self.value
+
+
+@dataclass(frozen=True)
+class AmdahlEfficiency:
+    """Efficiency implied by Amdahl's law with a serial fraction ``s``.
+
+    ``speedup(N) = 1 / (s + (1 - s)/N)`` hence
+    ``eps_n(N) = speedup(N) / N``.
+    """
+
+    serial_fraction: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ConfigurationError("serial fraction must be in [0, 1]")
+
+    def __call__(self, n: int) -> float:
+        _require_positive_n(n)
+        speedup = 1.0 / (self.serial_fraction + (1.0 - self.serial_fraction) / n)
+        return speedup / n
+
+
+@dataclass(frozen=True)
+class CommunicationOverheadEfficiency:
+    """Efficiency eroded by communication that grows with core count.
+
+    ``eps_n(N) = 1 / (1 + c * (N - 1)^k)``: ``c`` is the per-partner
+    overhead relative to useful work, ``k`` how super/sub-linearly the
+    communication volume grows.  ``k = 1`` models all-to-one patterns,
+    ``k < 1`` nearest-neighbour ones.
+    """
+
+    overhead: float
+    growth: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.overhead < 0:
+            raise ConfigurationError("overhead must be non-negative")
+        if self.growth <= 0:
+            raise ConfigurationError("growth exponent must be positive")
+
+    def __call__(self, n: int) -> float:
+        _require_positive_n(n)
+        if n == 1:
+            return 1.0
+        return 1.0 / (1.0 + self.overhead * (n - 1) ** self.growth)
+
+
+class MeasuredEfficiency:
+    """Table-driven efficiency with geometric interpolation between points.
+
+    ``table`` maps core counts to measured nominal efficiencies; N = 1 is
+    implicitly 1.0.  Lookups at intermediate N interpolate log-linearly in
+    N (efficiency curves are roughly straight on a log-N axis); lookups
+    beyond the last point extrapolate with the last segment's slope,
+    clamped to stay positive.
+    """
+
+    def __init__(self, table: Mapping[int, float]) -> None:
+        cleaned: Dict[int, float] = {1: 1.0}
+        for n, eps in table.items():
+            if n < 1:
+                raise ConfigurationError(f"core count must be >= 1, got {n}")
+            if eps <= 0:
+                raise ConfigurationError(f"efficiency must be positive, got {eps}")
+            cleaned[int(n)] = float(eps)
+        if len(cleaned) < 2:
+            raise ConfigurationError("need at least one N > 1 entry")
+        self._ns = sorted(cleaned)
+        self._eps = [cleaned[n] for n in self._ns]
+
+    def __call__(self, n: int) -> float:
+        _require_positive_n(n)
+        ns, eps = self._ns, self._eps
+        if n in ns:
+            return eps[ns.index(n)]
+        if n < ns[0]:
+            return eps[0]
+        # Find the bracketing or extrapolating segment.
+        if n > ns[-1]:
+            lo, hi = len(ns) - 2, len(ns) - 1
+        else:
+            hi = next(i for i, candidate in enumerate(ns) if candidate > n)
+            lo = hi - 1
+        log_n_lo, log_n_hi = math.log(ns[lo]), math.log(ns[hi])
+        log_e_lo, log_e_hi = math.log(eps[lo]), math.log(eps[hi])
+        t = (math.log(n) - log_n_lo) / (log_n_hi - log_n_lo)
+        return math.exp(log_e_lo + t * (log_e_hi - log_e_lo))
+
+    @property
+    def table(self) -> Dict[int, float]:
+        """The measured points, including the implicit N = 1 entry."""
+        return dict(zip(self._ns, self._eps))
+
+
+#: The "imaginary sample application" whose operating points are marked in
+#: Figure 1: eps_n = 0.9 / 0.8 / 0.65 / 0.5 at N = 2 / 4 / 8 / 16.
+SAMPLE_APPLICATION = MeasuredEfficiency({2: 0.9, 4: 0.8, 8: 0.65, 16: 0.5})

@@ -1,0 +1,96 @@
+"""The execution-time model and the performance-side identities.
+
+The paper models performance with the classic iron law (its Eq. 5)::
+
+    T = I * CPI / f
+
+For a parallel run on N cores (all threads assumed to have identical
+instruction counts ``I_N`` and ``CPI_N``, all cores sharing one V/f), the
+*nominal parallel efficiency* (Eq. 6) is::
+
+    eps_n(N) = (I_1 * CPI_1) / (N * I_N * CPI_N)
+
+and the two identities the scenarios are built on follow directly:
+
+* iso-performance frequency (Eq. 7): ``f_N = f_1 / (N * eps_n(N))``,
+* speedup at frequency ``f`` (Eq. 10 without the voltage substitution):
+  ``S(N, f) = N * eps_n(N) * f / f_1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, InfeasibleOperatingPoint
+
+
+@dataclass(frozen=True)
+class ExecutionTimeModel:
+    """Iron-law execution time (Eq. 5): ``T = I * CPI / f``.
+
+    ``instructions`` is the dynamic instruction count of one thread,
+    ``cpi`` its average cycles per instruction.
+    """
+
+    instructions: float
+    cpi: float
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0 or self.cpi <= 0:
+            raise ConfigurationError("instructions and CPI must be positive")
+
+    def time(self, frequency_hz: float) -> float:
+        """Execution time in seconds at the given clock frequency."""
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        return self.instructions * self.cpi / frequency_hz
+
+    def cycles(self) -> float:
+        """Total cycles, independent of frequency."""
+        return self.instructions * self.cpi
+
+
+def nominal_parallel_efficiency(
+    sequential: ExecutionTimeModel, per_thread: ExecutionTimeModel, n: int
+) -> float:
+    """Eq. 6: efficiency of an N-thread run measured at equal frequency.
+
+    ``per_thread`` describes one of the N identical threads.  Values above
+    1 indicate superlinear behaviour (e.g. aggregate cache capacity).
+    """
+    if n < 1:
+        raise ConfigurationError(f"core count must be >= 1, got {n}")
+    return sequential.cycles() / (n * per_thread.cycles())
+
+
+def iso_performance_frequency(f1_hz: float, n: int, eps_n: float) -> float:
+    """Eq. 7: the frequency at which N cores match the 1-core nominal time.
+
+    Requires ``N * eps_n >= 1``; otherwise matching the sequential
+    performance would need overclocking beyond ``f1``, which the model
+    forbids (Section 2.2).
+    """
+    if f1_hz <= 0:
+        raise ConfigurationError("nominal frequency must be positive")
+    if n < 1:
+        raise ConfigurationError(f"core count must be >= 1, got {n}")
+    if eps_n <= 0:
+        raise ConfigurationError("efficiency must be positive")
+    product = n * eps_n
+    if product < 1.0 - 1e-12:
+        raise InfeasibleOperatingPoint(
+            f"N * eps_n = {product:.4f} < 1: matching 1-core performance on "
+            f"{n} cores would require overclocking"
+        )
+    return f1_hz / product
+
+
+def speedup_from_frequency(f_hz: float, f1_hz: float, n: int, eps_n: float) -> float:
+    """Eq. 10 (frequency form): ``S = N * eps_n * f / f1``."""
+    if f_hz <= 0 or f1_hz <= 0:
+        raise ConfigurationError("frequencies must be positive")
+    if n < 1:
+        raise ConfigurationError(f"core count must be >= 1, got {n}")
+    if eps_n <= 0:
+        raise ConfigurationError("efficiency must be positive")
+    return n * eps_n * f_hz / f1_hz

@@ -1,0 +1,229 @@
+"""The analytical chip power model (Eqs. 2, 4, 8, 9) with thermal feedback.
+
+The model describes a fixed CMP of identical cores.  A run uses
+``n_active`` cores at a common supply voltage and frequency; unused cores
+are shut down and consume nothing (Section 2.2).  Per core::
+
+    P_dyn(V, f)  = P_D1 * (V / V1)^2 * (f / f1)          # a C V^2 f, Eq. 2
+    P_stat(V, T) = S1_std * H(V, T)                      # V * I_leak, Eq. 4
+
+where ``P_D1`` is the 1-core dynamic power at nominal V/f, ``S1_std`` the
+1-core static power at nominal voltage and room temperature, and
+``H(V, T)`` the curve-fitted leakage multiplier (Eq. 3).  Both constants
+are derived from the technology node's published 1-core total power and
+static fraction at the 100 C design point — the same route the paper takes
+through ITRS data (Section 2.2).
+
+Temperature and power are mutually dependent (static power raises
+temperature raises static power), so every query resolves a fixed point
+``T = Thermal(P(T))`` through a thermal model, defaulting to
+:class:`~repro.thermal.compact.CompactThermalModel` calibrated at the
+1-core design point.  The die temperature is floored at ambient by the
+thermal model itself, reproducing the "temperature can never be lower
+than the ambient" bound that bends the curves of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError, ConvergenceError
+from repro.tech.leakage import LeakageFit, default_leakage_multiplier
+from repro.tech.technology import TechnologyNode
+from repro.thermal.compact import CompactThermalModel
+from repro.units import celsius_to_kelvin
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Chip power split into its Eq. 2 components (watts)."""
+
+    dynamic_w: float
+    static_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Total chip power."""
+        return self.dynamic_w + self.static_w
+
+    @property
+    def static_fraction(self) -> float:
+        """Share of total power that is static."""
+        return self.static_w / self.total_w if self.total_w > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A resolved (N, V, f) point with its equilibrium temperature and power."""
+
+    n_active: int
+    voltage: float
+    frequency_hz: float
+    temperature_k: float
+    power: PowerBreakdown
+
+    @property
+    def temperature_celsius(self) -> float:
+        """Equilibrium average die temperature in Celsius."""
+        return self.temperature_k - 273.15
+
+
+class AnalyticalChipModel:
+    """Power/thermal model of a fixed CMP for the analytical scenarios.
+
+    Parameters
+    ----------
+    tech:
+        Process technology node (supplies V1, Vth, f1, the alpha-power law
+        and the nominal static fraction).
+    n_cores_max:
+        Number of cores on the chip (the paper's analytical study uses a
+        32-way CMP baseline).
+    p1_watts:
+        Total chip power of the 1-core configuration at nominal V/f and
+        the design-point temperature.  Only normalised powers appear in
+        the paper's plots, but an absolute anchor is needed for the
+        thermal feedback; 60 W is an EV6-class value.
+    t1_celsius:
+        Design-point temperature of the 1-core full-throttle run (100 C).
+    ambient_celsius:
+        In-box ambient temperature (45 C, Table 1).
+    leakage:
+        Optional ``H(V, T)`` multiplier; defaults to the curve fitted
+        against the physical leakage model for ``tech``.
+    thermal:
+        Optional pre-built compact thermal model; it will be calibrated at
+        the 1-core design point.
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyNode,
+        n_cores_max: int = 32,
+        p1_watts: float = 60.0,
+        t1_celsius: float = 100.0,
+        ambient_celsius: float = 45.0,
+        leakage: Optional[LeakageFit] = None,
+        thermal: Optional[CompactThermalModel] = None,
+    ) -> None:
+        if n_cores_max < 1:
+            raise ConfigurationError("n_cores_max must be >= 1")
+        if p1_watts <= 0:
+            raise ConfigurationError("p1_watts must be positive")
+        if t1_celsius <= ambient_celsius:
+            raise ConfigurationError("design temperature must exceed ambient")
+        self.tech = tech
+        self.n_cores_max = n_cores_max
+        self.p1_watts = p1_watts
+        self.t1_celsius = t1_celsius
+        self.ambient_celsius = ambient_celsius
+        self.leakage = leakage or default_leakage_multiplier(tech)
+        self.thermal = thermal or CompactThermalModel(ambient_celsius=ambient_celsius)
+        self.thermal.calibrate(p1_watts, t1_celsius)
+
+        t1_k = celsius_to_kelvin(t1_celsius)
+        static_fraction = tech.static_fraction_nominal
+        #: 1-core dynamic power at nominal V/f (temperature-independent).
+        self.p_dynamic_1 = (1.0 - static_fraction) * p1_watts
+        #: 1-core static power at nominal voltage and *room* temperature;
+        #: Eq. 4 scales it by H(V, T) everywhere else.
+        self.s1_std = static_fraction * p1_watts / self.leakage.multiplier(
+            tech.vdd_nominal, t1_k
+        )
+
+    def core_dynamic_power(self, v: float, f_hz: float) -> float:
+        """Dynamic power of one active core at (V, f) — the aCV^2f term."""
+        tech = self.tech
+        return (
+            self.p_dynamic_1
+            * (v / tech.vdd_nominal) ** 2
+            * (f_hz / tech.f_nominal)
+        )
+
+    def core_static_power(self, v: float, temperature_k: float) -> float:
+        """Static power of one active core at (V, T) — the V*I_leak term."""
+        return self.s1_std * self.leakage.multiplier(v, temperature_k)
+
+    def chip_power(
+        self, n_active: int, v: float, f_hz: float, temperature_k: float
+    ) -> PowerBreakdown:
+        """Chip power at a *given* temperature (no thermal feedback)."""
+        self._check_point(n_active, v, f_hz)
+        dynamic = n_active * self.core_dynamic_power(v, f_hz)
+        static = n_active * self.core_static_power(v, temperature_k)
+        return PowerBreakdown(dynamic_w=dynamic, static_w=static)
+
+    #: Fixed-point temperatures beyond this are declared thermal runaway:
+    #: the (N, V, f) point has no physical equilibrium (static power grows
+    #: faster with temperature than the package can remove it).
+    RUNAWAY_TEMPERATURE_K = 600.0
+
+    def equilibrium(
+        self,
+        n_active: int,
+        v: float,
+        f_hz: float,
+        tol_k: float = 1e-6,
+        max_iterations: int = 1000,
+    ) -> OperatingPoint:
+        """Resolve the power/temperature fixed point at (N, V, f).
+
+        Iterates ``T <- Thermal(P(T))`` (with mild damping for the hot,
+        leaky corner cases) until the temperature moves by less than
+        ``tol_k``.  Raises :class:`ConvergenceError` on thermal runaway —
+        configurations whose leakage outruns the package have no
+        equilibrium (Scenario II treats them as over budget).
+        """
+        self._check_point(n_active, v, f_hz)
+        temperature = self.thermal.ambient_k
+        damping = 0.5
+        for _ in range(max_iterations):
+            power = self.chip_power(n_active, v, f_hz, temperature)
+            updated = self.thermal.temperature_k(power.total_w, n_active)
+            if updated > self.RUNAWAY_TEMPERATURE_K:
+                raise ConvergenceError(
+                    f"thermal runaway at N={n_active}, V={v:.3f}, "
+                    f"f={f_hz / 1e9:.3f} GHz"
+                )
+            if abs(updated - temperature) < tol_k:
+                return OperatingPoint(
+                    n_active=n_active,
+                    voltage=v,
+                    frequency_hz=f_hz,
+                    temperature_k=updated,
+                    power=self.chip_power(n_active, v, f_hz, updated),
+                )
+            temperature = temperature + damping * (updated - temperature)
+        raise ConvergenceError(
+            f"thermal fixed point did not converge at N={n_active}, "
+            f"V={v:.3f}, f={f_hz / 1e9:.3f} GHz"
+        )
+
+    def reference_point(self) -> OperatingPoint:
+        """The 1-core full-throttle design point (the normalisation anchor).
+
+        By construction its total power is ``p1_watts`` and its
+        temperature ``t1_celsius``.
+        """
+        return self.equilibrium(
+            1, self.tech.vdd_nominal, self.tech.f_nominal
+        )
+
+    def _check_point(self, n_active: int, v: float, f_hz: float) -> None:
+        if not 1 <= n_active <= self.n_cores_max:
+            raise ConfigurationError(
+                f"n_active must be in [1, {self.n_cores_max}], got {n_active}"
+            )
+        if not self.tech.legal_voltage(v):
+            raise ConfigurationError(
+                f"voltage {v:.3f} V outside "
+                f"[{self.tech.v_min:.3f}, {self.tech.vdd_nominal:.3f}] V"
+            )
+        if f_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        if f_hz > self.tech.fmax(v) * (1 + 1e-9):
+            raise ConfigurationError(
+                f"{f_hz / 1e9:.3f} GHz exceeds f_max({v:.3f} V) = "
+                f"{self.tech.fmax(v) / 1e9:.3f} GHz"
+            )

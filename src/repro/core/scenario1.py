@@ -1,0 +1,182 @@
+"""Scenario I — power optimization at a fixed performance target (Sec. 2.2).
+
+Every configuration must deliver the performance of the 1-core run at
+nominal voltage and frequency.  For N cores with nominal parallel
+efficiency ``eps_n(N)`` this pins the frequency at (Eq. 7)::
+
+    f_N = f_1 / (N * eps_n(N))
+
+which requires ``N * eps_n >= 1`` (no overclocking).  The supply voltage
+follows from inverting the alpha-power law, clamped at the noise-margin
+floor ``2 Vth``; below that point only frequency keeps falling, which is
+exactly the diminishing-returns bend visible in Figure 1.  Power is then
+resolved through the thermal fixed point and normalised to the 1-core
+design-point power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.efficiency import EfficiencyCurve
+from repro.core.perfmodel import iso_performance_frequency
+from repro.core.powermodel import AnalyticalChipModel, OperatingPoint, PowerBreakdown
+from repro.errors import ConvergenceError, InfeasibleOperatingPoint
+
+
+@dataclass(frozen=True)
+class Scenario1Point:
+    """One solved iso-performance configuration."""
+
+    n: int
+    eps_n: float
+    operating_point: OperatingPoint
+    normalized_power: float
+    voltage_floored: bool
+
+    @property
+    def voltage(self) -> float:
+        """Chip supply voltage (volts)."""
+        return self.operating_point.voltage
+
+    @property
+    def frequency_hz(self) -> float:
+        """Chip clock frequency (hertz)."""
+        return self.operating_point.frequency_hz
+
+    @property
+    def power(self) -> PowerBreakdown:
+        """Equilibrium chip power."""
+        return self.operating_point.power
+
+    @property
+    def temperature_celsius(self) -> float:
+        """Equilibrium average die temperature (Celsius)."""
+        return self.operating_point.temperature_celsius
+
+
+class PowerOptimizationScenario:
+    """Solver for the paper's Scenario I on an analytical chip model.
+
+    By default the supply voltage for the Eq. 7 frequency is the
+    alpha-power-law minimum; pass a ``vf_table`` (e.g. the experimental
+    harness's Pentium-M-style table) to use datasheet operating points
+    instead — useful when comparing against the simulator, which runs on
+    that table.
+    """
+
+    def __init__(self, chip: AnalyticalChipModel, vf_table=None) -> None:
+        self.chip = chip
+        self.vf_table = vf_table
+        self._reference = chip.reference_point()
+
+    @property
+    def reference(self) -> OperatingPoint:
+        """The 1-core nominal design point all powers are normalised to."""
+        return self._reference
+
+    def solve(self, n: int, eps_n: float) -> Scenario1Point:
+        """Solve the iso-performance point for ``n`` cores at ``eps_n``.
+
+        Raises :class:`InfeasibleOperatingPoint` when ``N * eps_n < 1``
+        (the region left blank in Figure 1).
+        """
+        tech = self.chip.tech
+        f_n = iso_performance_frequency(tech.f_nominal, n, eps_n)
+        if self.vf_table is not None:
+            f_n = min(max(f_n, self.vf_table.f_min), self.vf_table.f_max)
+            voltage = self.vf_table.voltage_for_frequency(f_n)
+        else:
+            voltage = tech.voltage_for_frequency(f_n)
+        floored = abs(voltage - tech.v_min) < 1e-9 and f_n < tech.fmax(tech.v_min)
+        point = self.chip.equilibrium(n, voltage, f_n)
+        return Scenario1Point(
+            n=n,
+            eps_n=eps_n,
+            operating_point=point,
+            normalized_power=point.power.total_w / self._reference.power.total_w,
+            voltage_floored=floored,
+        )
+
+    def efficiency_sweep(
+        self,
+        n: int,
+        efficiencies: Sequence[float],
+    ) -> List[Scenario1Point]:
+        """Solve one Figure 1 curve: fixed ``n``, sweeping ``eps_n``.
+
+        Infeasible efficiencies (``N * eps_n < 1``) are skipped, matching
+        the blank left edge of the paper's curves.
+        """
+        points: List[Scenario1Point] = []
+        for eps in efficiencies:
+            try:
+                points.append(self.solve(n, eps))
+            except InfeasibleOperatingPoint:
+                continue
+            except ConvergenceError:
+                # Very low efficiencies leave many cores near full
+                # throttle; some of those points have no thermal
+                # equilibrium and sit far above Figure 1's plot range
+                # anyway.
+                continue
+        return points
+
+    def breakeven_efficiency(
+        self,
+        n: int,
+        resolution: float = 1e-4,
+    ) -> Optional[float]:
+        """Lowest ``eps_n`` at which ``n`` cores beat the 1-core power.
+
+        Bisects for ``normalized_power = 1``; returns ``None`` if the
+        configuration never breaks even on (feasible) efficiencies up
+        to 1.  The paper observes this threshold falls as N grows.
+        """
+        def power_or_inf(eps: float) -> float:
+            # Thermal runaway (many cores near full throttle) is
+            # unambiguously above breakeven.
+            try:
+                return self.solve(n, eps).normalized_power
+            except ConvergenceError:
+                return float("inf")
+
+        lo = max(1.0 / n, resolution)
+        hi = 1.0
+        if power_or_inf(hi) >= 1.0:
+            return None
+        if power_or_inf(lo) <= 1.0:
+            return lo
+        while hi - lo > resolution:
+            mid = 0.5 * (lo + hi)
+            if power_or_inf(mid) > 1.0:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def best_configuration(
+        self,
+        efficiency: EfficiencyCurve,
+        candidates: Iterable[int],
+    ) -> Scenario1Point:
+        """The feasible candidate N with the lowest normalised power.
+
+        This answers the paper's observation that "the configuration that
+        yields the maximum power savings is not necessarily the one with
+        the highest number of processors".
+        """
+        best: Optional[Scenario1Point] = None
+        for n in candidates:
+            try:
+                point = self.solve(n, efficiency(n))
+            except InfeasibleOperatingPoint:
+                continue
+            if best is None or point.normalized_power < best.normalized_power:
+                best = point
+        if best is None:
+            raise InfeasibleOperatingPoint(
+                "no candidate configuration can match the 1-core performance"
+            )
+        return best

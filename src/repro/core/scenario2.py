@@ -1,0 +1,198 @@
+"""Scenario II — performance optimization under a power budget (Sec. 2.3).
+
+The chip power may not exceed the budget of the 1-core run at full
+throttle.  For each N the solver finds the highest legal (V, f) and
+reports the speedup ``S = N * eps_n * f / f1`` (Eq. 10).  Three regimes
+arise, in the order the paper discusses them:
+
+* ``"nominal"`` — small N or a frugal chip: nominal V/f already fits the
+  budget; the analytical model never overclocks, so speedup saturates at
+  ``N * eps_n``.
+* ``"voltage-scaling"`` — the usual case: the budget equality of Eq. 11
+  is solved for V (bisection — the closed form is blocked by the H(V, T)
+  leakage term and the thermal feedback), with ``f = f_max(V)``.
+* ``"frequency-only"`` — V has hit the ``2 Vth`` noise-margin floor; only
+  frequency can fall further, and since dynamic power is merely *linear*
+  in f, each added core costs a large frequency cut.  This is the regime
+  that bends the Figure 2 curves downward and makes speedup collapse at
+  large N, especially at 65 nm where the static share is bigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.efficiency import EfficiencyCurve
+from repro.core.perfmodel import speedup_from_frequency
+from repro.core.powermodel import AnalyticalChipModel, OperatingPoint, PowerBreakdown
+from repro.errors import ConvergenceError, InfeasibleOperatingPoint
+
+
+@dataclass(frozen=True)
+class Scenario2Point:
+    """One solved power-budgeted configuration."""
+
+    n: int
+    eps_n: float
+    operating_point: OperatingPoint
+    speedup: float
+    regime: str
+
+    @property
+    def voltage(self) -> float:
+        """Chip supply voltage (volts)."""
+        return self.operating_point.voltage
+
+    @property
+    def frequency_hz(self) -> float:
+        """Chip clock frequency (hertz)."""
+        return self.operating_point.frequency_hz
+
+    @property
+    def power(self) -> PowerBreakdown:
+        """Equilibrium chip power."""
+        return self.operating_point.power
+
+    @property
+    def temperature_celsius(self) -> float:
+        """Equilibrium average die temperature (Celsius)."""
+        return self.operating_point.temperature_celsius
+
+
+class PerformanceOptimizationScenario:
+    """Solver for the paper's Scenario II on an analytical chip model."""
+
+    #: Relative tolerance on meeting the power budget.
+    BUDGET_TOLERANCE = 1e-6
+
+    def __init__(
+        self, chip: AnalyticalChipModel, budget_w: Optional[float] = None
+    ) -> None:
+        self.chip = chip
+        reference = chip.reference_point()
+        #: The power budget; defaults to the 1-core full-throttle power,
+        #: exactly as the paper sets it.
+        self.budget_w = budget_w if budget_w is not None else reference.power.total_w
+        if self.budget_w <= 0:
+            raise InfeasibleOperatingPoint("power budget must be positive")
+        self._reference = reference
+
+    @property
+    def reference(self) -> OperatingPoint:
+        """The 1-core nominal design point."""
+        return self._reference
+
+    def _power_at_voltage(self, n: int, v: float) -> OperatingPoint:
+        """Equilibrium at (n, v) running as fast as the voltage allows."""
+        return self.chip.equilibrium(n, v, self.chip.tech.fmax(v))
+
+    def _power_at_frequency(self, n: int, f_hz: float) -> OperatingPoint:
+        """Equilibrium at the voltage floor with an explicit frequency."""
+        return self.chip.equilibrium(n, self.chip.tech.v_min, f_hz)
+
+    def _total_w_or_inf(self, point_fn, *args) -> float:
+        """Equilibrium total power, with thermal runaway read as infinite.
+
+        Bisection probes far above the budget can have no thermal
+        equilibrium at all (leakage outruns the package); for the budget
+        search those points are simply "over budget".
+        """
+        try:
+            return point_fn(*args).power.total_w
+        except ConvergenceError:
+            return float("inf")
+
+    def solve(self, n: int, eps_n: float) -> Scenario2Point:
+        """Best-performance configuration for ``n`` cores within the budget."""
+        tech = self.chip.tech
+        budget = self.budget_w
+
+        nominal_w = self._total_w_or_inf(
+            self.chip.equilibrium, n, tech.vdd_nominal, tech.f_nominal
+        )
+        if nominal_w <= budget * (1 + self.BUDGET_TOLERANCE):
+            nominal = self.chip.equilibrium(n, tech.vdd_nominal, tech.f_nominal)
+            return self._make_point(n, eps_n, nominal, "nominal")
+
+        if self._total_w_or_inf(self._power_at_voltage, n, tech.v_min) <= budget:
+            # Voltage-scaling regime: bisect V in [v_min, v1] on the
+            # monotone P(V) with f = f_max(V)  (Eq. 11).
+            lo, hi = tech.v_min, tech.vdd_nominal
+            for _ in range(100):
+                mid = 0.5 * (lo + hi)
+                if self._total_w_or_inf(self._power_at_voltage, n, mid) > budget:
+                    hi = mid
+                else:
+                    lo = mid
+            point = self._power_at_voltage(n, lo)
+            return self._make_point(n, eps_n, point, "voltage-scaling")
+
+        # Frequency-only regime at the voltage floor.  Static power alone
+        # (f -> 0) may already blow the budget, in which case no legal
+        # configuration exists for this N.
+        f_hi = tech.fmax(tech.v_min)
+        f_lo = f_hi * 1e-6
+        if self._total_w_or_inf(self._power_at_frequency, n, f_lo) > budget:
+            raise InfeasibleOperatingPoint(
+                f"static power of {n} cores at the voltage floor exceeds "
+                f"the {budget:.1f} W budget"
+            )
+        for _ in range(100):
+            f_mid = 0.5 * (f_lo + f_hi)
+            if self._total_w_or_inf(self._power_at_frequency, n, f_mid) > budget:
+                f_hi = f_mid
+            else:
+                f_lo = f_mid
+        point = self._power_at_frequency(n, f_lo)
+        return self._make_point(n, eps_n, point, "frequency-only")
+
+    def _make_point(
+        self, n: int, eps_n: float, point: OperatingPoint, regime: str
+    ) -> Scenario2Point:
+        speedup = speedup_from_frequency(
+            point.frequency_hz, self.chip.tech.f_nominal, n, eps_n
+        )
+        return Scenario2Point(
+            n=n, eps_n=eps_n, operating_point=point, speedup=speedup, regime=regime
+        )
+
+    def speedup_curve(
+        self,
+        efficiency: EfficiencyCurve,
+        n_values: Iterable[int],
+    ) -> List[Scenario2Point]:
+        """Solve the Figure 2 speedup-versus-N curve.
+
+        Core counts whose static floor power already exceeds the budget
+        are skipped.
+        """
+        points: List[Scenario2Point] = []
+        for n in n_values:
+            try:
+                points.append(self.solve(n, efficiency(n)))
+            except InfeasibleOperatingPoint:
+                continue
+        return points
+
+    def best_configuration(
+        self,
+        efficiency: EfficiencyCurve,
+        candidates: Iterable[int],
+    ) -> Scenario2Point:
+        """The candidate N with the highest budget-legal speedup.
+
+        The paper's headline: this optimum can sit well below the number
+        of cores available, even at perfect efficiency.
+        """
+        best: Optional[Scenario2Point] = None
+        for n in candidates:
+            try:
+                point = self.solve(n, efficiency(n))
+            except InfeasibleOperatingPoint:
+                continue
+            if best is None or point.speedup > best.speedup:
+                best = point
+        if best is None:
+            raise InfeasibleOperatingPoint("no candidate fits the power budget")
+        return best

@@ -1,0 +1,198 @@
+"""Scenario III — energy(-delay) optimization: an extension of the paper.
+
+The paper optimises *power* at fixed performance (Scenario I) and
+*performance* at fixed power (Scenario II).  Its related-work discussion
+(the Thrifty Barrier [26], Kadayif et al. [21]) frames the same knobs in
+terms of **energy**, which is the quantity a battery or an electricity
+bill actually integrates.  This module closes that loop analytically:
+for a given core count and efficiency, choose the operating point that
+minimises
+
+* ``E``        — total energy of the computation, or
+* ``E * T^w``  — a weighted energy-delay product (w = 1 gives EDP,
+  w = 2 ED^2P; w = 0 degenerates to pure energy).
+
+Structure of the problem: running N cores at frequency ``f`` (voltage
+from the alpha-power law) for the work's duration ``T(f) = T_ref * f1 /
+(N eps_n f)``, the energy is::
+
+    E(f) = [P_dyn(V(f), f) + P_static(V(f), T_die)] * T(f)
+
+Dynamic energy per unit work falls as V^2 while static energy *rises* as
+the run stretches out — so an interior optimum ("energy-optimal
+frequency") exists whenever static power is non-negligible.  Below the
+voltage floor only frequency falls, dynamic energy per work stops
+improving, and stretching the run is pure static loss; the optimum never
+sits below the floor-frequency knee unless leakage is zero.
+
+The solver uses golden-section search over log-frequency (the objective
+is unimodal in practice; the search brackets are the chip's legal range).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.efficiency import EfficiencyCurve
+from repro.core.powermodel import AnalyticalChipModel, OperatingPoint
+from repro.errors import ConfigurationError, ConvergenceError, InfeasibleOperatingPoint
+
+#: Golden ratio constant for the section search.
+_INVPHI = (math.sqrt(5.0) - 1.0) / 2.0
+
+
+@dataclass(frozen=True)
+class Scenario3Point:
+    """One energy-optimal configuration."""
+
+    n: int
+    eps_n: float
+    delay_weight: float
+    operating_point: OperatingPoint
+    #: Execution time relative to the 1-core nominal run.
+    relative_time: float
+    #: Energy relative to the 1-core nominal run.
+    relative_energy: float
+
+    @property
+    def voltage(self) -> float:
+        """Chip supply voltage (volts)."""
+        return self.operating_point.voltage
+
+    @property
+    def frequency_hz(self) -> float:
+        """Chip clock frequency (hertz)."""
+        return self.operating_point.frequency_hz
+
+    @property
+    def relative_objective(self) -> float:
+        """``E * T^w`` relative to the 1-core nominal run."""
+        return self.relative_energy * self.relative_time ** self.delay_weight
+
+
+class EnergyOptimizationScenario:
+    """Energy / energy-delay optimization over the analytical model."""
+
+    def __init__(
+        self,
+        chip: AnalyticalChipModel,
+        delay_weight: float = 0.0,
+        f_min_fraction: float = 0.02,
+    ) -> None:
+        if delay_weight < 0:
+            raise ConfigurationError("delay_weight must be >= 0")
+        if not 0.0 < f_min_fraction < 1.0:
+            raise ConfigurationError("f_min_fraction must be in (0, 1)")
+        self.chip = chip
+        self.delay_weight = delay_weight
+        #: Search floor: below a few percent of nominal frequency the
+        #: run stretches so far that static energy diverges anyway.
+        self.f_min_fraction = f_min_fraction
+        self._reference = chip.reference_point()
+        #: Reference energy: the 1-core nominal run over unit work.
+        self._reference_energy = self._reference.power.total_w * 1.0
+
+    @property
+    def reference(self) -> OperatingPoint:
+        """The 1-core nominal design point (T = 1, E = P1 by convention)."""
+        return self._reference
+
+    def _evaluate(self, n: int, eps_n: float, f_hz: float):
+        """(objective, point, rel_time, rel_energy) at one frequency."""
+        tech = self.chip.tech
+        v = tech.voltage_for_frequency(f_hz)
+        point = self.chip.equilibrium(n, v, f_hz)
+        rel_time = tech.f_nominal / (n * eps_n * f_hz)
+        rel_energy = point.power.total_w * rel_time / self._reference_energy
+        objective = rel_energy * rel_time ** self.delay_weight
+        return objective, point, rel_time, rel_energy
+
+    def solve(self, n: int, eps_n: float) -> Scenario3Point:
+        """The energy(-delay)-optimal operating point for ``n`` cores."""
+        if n < 1 or n > self.chip.n_cores_max:
+            raise ConfigurationError(
+                f"n must be in [1, {self.chip.n_cores_max}], got {n}"
+            )
+        if eps_n <= 0:
+            raise ConfigurationError("efficiency must be positive")
+        tech = self.chip.tech
+
+        # Golden-section search on log(f); the objective is unimodal:
+        # dynamic energy/work falls with f down to the voltage floor,
+        # static energy grows as 1/f.
+        lo = math.log(tech.f_nominal * self.f_min_fraction)
+        hi = math.log(tech.f_nominal)
+
+        def objective(log_f: float) -> float:
+            try:
+                return self._evaluate(n, eps_n, math.exp(log_f))[0]
+            except ConvergenceError:
+                return float("inf")
+
+        a, b = lo, hi
+        c = b - _INVPHI * (b - a)
+        d = a + _INVPHI * (b - a)
+        fc, fd = objective(c), objective(d)
+        for _ in range(100):
+            if fc < fd:
+                b, d, fd = d, c, fc
+                c = b - _INVPHI * (b - a)
+                fc = objective(c)
+            else:
+                a, c, fc = c, d, fd
+                d = a + _INVPHI * (b - a)
+                fd = objective(d)
+            if b - a < 1e-10:
+                break
+        best_log_f = c if fc < fd else d
+        obj, point, rel_time, rel_energy = self._evaluate(
+            n, eps_n, math.exp(best_log_f)
+        )
+        if not math.isfinite(obj):
+            raise InfeasibleOperatingPoint(
+                f"no thermally stable operating point for N={n}"
+            )
+        return Scenario3Point(
+            n=n,
+            eps_n=eps_n,
+            delay_weight=self.delay_weight,
+            operating_point=point,
+            relative_time=rel_time,
+            relative_energy=rel_energy,
+        )
+
+    def energy_curve(
+        self,
+        efficiency: EfficiencyCurve,
+        n_values: Iterable[int],
+    ) -> List[Scenario3Point]:
+        """Energy-optimal points across core counts (the extension's
+        analogue of Figure 2: how does the best achievable energy scale
+        with granularity?)."""
+        points: List[Scenario3Point] = []
+        for n in n_values:
+            try:
+                points.append(self.solve(n, efficiency(n)))
+            except InfeasibleOperatingPoint:
+                continue
+        return points
+
+    def best_configuration(
+        self,
+        efficiency: EfficiencyCurve,
+        candidates: Iterable[int],
+    ) -> Scenario3Point:
+        """The candidate N with the lowest ``E * T^w``."""
+        best: Optional[Scenario3Point] = None
+        for n in candidates:
+            try:
+                point = self.solve(n, efficiency(n))
+            except InfeasibleOperatingPoint:
+                continue
+            if best is None or point.relative_objective < best.relative_objective:
+                best = point
+        if best is None:
+            raise InfeasibleOperatingPoint("no feasible candidate configuration")
+        return best

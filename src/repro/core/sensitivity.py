@@ -1,0 +1,122 @@
+"""Parameter sensitivity of the analytical model's headline outputs.
+
+An analytical model is only as credible as its robustness to the
+constants nobody measured precisely (alpha, the static fraction, the
+voltage floor, the thermal spreading split...).  This module perturbs
+each parameter by a relative step and reports the elasticity of a chosen
+headline metric — by default Figure 2's peak speedup or Figure 1's
+normalized power at a reference point — producing the tornado-style
+ranking a reviewer would ask for.
+
+Elasticity is ``(dM / M) / (dp / p)`` estimated by a central finite
+difference, so +1 means "a 1 % parameter change moves the metric 1 % in
+the same direction".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.powermodel import AnalyticalChipModel
+from repro.core.scenario1 import PowerOptimizationScenario
+from repro.core.sweeps import figure2_sweep
+from repro.errors import ConfigurationError
+from repro.tech.technology import TechnologyNode
+
+#: The perturbable technology/model parameters and how to apply them.
+#: Each entry maps a parameter name to a function building a perturbed
+#: chip model from (node, factor).
+_PARAMETERS: Dict[str, Callable[[TechnologyNode, float], AnalyticalChipModel]] = {
+    "alpha": lambda node, f: AnalyticalChipModel(replace(node, alpha=node.alpha * f)),
+    "vth": lambda node, f: AnalyticalChipModel(replace(node, vth=node.vth * f)),
+    "static_fraction": lambda node, f: AnalyticalChipModel(
+        replace(
+            node,
+            static_fraction_nominal=min(0.95, node.static_fraction_nominal * f),
+        )
+    ),
+    "noise_margin": lambda node, f: AnalyticalChipModel(
+        replace(node, noise_margin_factor=node.noise_margin_factor * f)
+    ),
+    "f_nominal": lambda node, f: AnalyticalChipModel(
+        replace(node, f_nominal=node.f_nominal * f)
+    ),
+}
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """One parameter's measured elasticity."""
+
+    parameter: str
+    baseline_metric: float
+    metric_up: float
+    metric_down: float
+    step: float
+
+    @property
+    def elasticity(self) -> float:
+        """Central-difference elasticity (d log M / d log p)."""
+        if self.baseline_metric == 0:
+            return float("nan")
+        dm = (self.metric_up - self.metric_down) / (2 * self.baseline_metric)
+        return dm / self.step
+
+    @property
+    def magnitude(self) -> float:
+        """|elasticity| — the tornado-chart ordering key."""
+        e = self.elasticity
+        return abs(e)
+
+
+def peak_speedup_metric(chip: AnalyticalChipModel) -> float:
+    """Figure 2's headline: peak budget-legal speedup."""
+    return figure2_sweep(chip).peak()[1]
+
+
+def iso_performance_power_metric(
+    n: int = 8, eps: float = 0.8
+) -> Callable[[AnalyticalChipModel], float]:
+    """Figure 1's headline: normalized power at a reference (N, eps)."""
+
+    def metric(chip: AnalyticalChipModel) -> float:
+        return PowerOptimizationScenario(chip).solve(n, eps).normalized_power
+
+    return metric
+
+
+def sensitivity_analysis(
+    node: TechnologyNode,
+    metric: Callable[[AnalyticalChipModel], float] = peak_speedup_metric,
+    parameters: Optional[Sequence[str]] = None,
+    step: float = 0.05,
+) -> List[SensitivityEntry]:
+    """Elasticities of ``metric`` to each model parameter, ranked.
+
+    ``step`` is the relative perturbation (default +/-5 %).  Returns
+    entries sorted by magnitude, largest first.
+    """
+    if not 0.0 < step < 0.5:
+        raise ConfigurationError("step must be in (0, 0.5)")
+    names = list(parameters) if parameters is not None else list(_PARAMETERS)
+    for name in names:
+        if name not in _PARAMETERS:
+            raise ConfigurationError(f"unknown parameter {name!r}")
+
+    baseline = metric(AnalyticalChipModel(node))
+    entries: List[SensitivityEntry] = []
+    for name in names:
+        build = _PARAMETERS[name]
+        up = metric(build(node, 1.0 + step))
+        down = metric(build(node, 1.0 - step))
+        entries.append(
+            SensitivityEntry(
+                parameter=name,
+                baseline_metric=baseline,
+                metric_up=up,
+                metric_down=down,
+                step=step,
+            )
+        )
+    return sorted(entries, key=lambda e: e.magnitude, reverse=True)

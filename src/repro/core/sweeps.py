@@ -1,0 +1,113 @@
+"""The exact parameter sweeps behind the paper's Figures 1 and 2.
+
+Figure 1 plots normalised power consumption versus nominal parallel
+efficiency for N in {2, 4, 8, 16, 32}, once per technology node (130 nm
+and 65 nm), all configurations forced to match the 1-core nominal
+performance, with the sample application's operating points marked.
+
+Figure 2 plots speedup versus N (1..32) under the 1-core power budget at
+``eps_n = 1`` for both nodes.
+
+These helpers return plain data records so the benchmark harness, the
+examples, and the tests can share one implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.efficiency import ConstantEfficiency, EfficiencyCurve, SAMPLE_APPLICATION
+from repro.core.powermodel import AnalyticalChipModel
+from repro.core.scenario1 import PowerOptimizationScenario, Scenario1Point
+from repro.core.scenario2 import PerformanceOptimizationScenario, Scenario2Point
+from repro.errors import InfeasibleOperatingPoint
+from repro.tech.technology import TechnologyNode
+
+#: The core counts of Figure 1's curves.
+FIGURE1_CORE_COUNTS: Tuple[int, ...] = (2, 4, 8, 16, 32)
+
+#: The core counts of Figure 2's x-axis.
+FIGURE2_CORE_COUNTS: Tuple[int, ...] = tuple(range(1, 33))
+
+
+@dataclass(frozen=True)
+class Figure1Curve:
+    """One Figure 1 curve: normalised power vs efficiency at fixed N."""
+
+    technology: str
+    n: int
+    efficiencies: Tuple[float, ...]
+    normalized_power: Tuple[float, ...]
+    #: The sample application's mark on this curve (eps, power), if its
+    #: efficiency at this N is feasible.
+    sample_mark: Optional[Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class Figure2Curve:
+    """One Figure 2 curve: speedup vs N under the 1-core power budget."""
+
+    technology: str
+    core_counts: Tuple[int, ...]
+    speedups: Tuple[float, ...]
+    regimes: Tuple[str, ...]
+
+    def peak(self) -> Tuple[int, float]:
+        """(N, speedup) of the curve's maximum."""
+        idx = int(np.argmax(self.speedups))
+        return self.core_counts[idx], self.speedups[idx]
+
+
+def figure1_sweep(
+    chip: AnalyticalChipModel,
+    core_counts: Sequence[int] = FIGURE1_CORE_COUNTS,
+    efficiency_points: int = 101,
+    sample_application: EfficiencyCurve = SAMPLE_APPLICATION,
+) -> List[Figure1Curve]:
+    """Regenerate Figure 1 for one technology node.
+
+    Sweeps ``eps_n`` over (0, 1] for each N; infeasible points
+    (``N * eps_n < 1``) are omitted like the blank region in the paper.
+    """
+    scenario = PowerOptimizationScenario(chip)
+    efficiency_grid = np.linspace(0.01, 1.0, efficiency_points)
+    curves: List[Figure1Curve] = []
+    for n in core_counts:
+        solved = scenario.efficiency_sweep(n, [float(e) for e in efficiency_grid])
+        mark: Optional[Tuple[float, float]] = None
+        try:
+            sample_eps = sample_application(n)
+            if n * sample_eps >= 1.0:
+                sample_point = scenario.solve(n, sample_eps)
+                mark = (sample_eps, sample_point.normalized_power)
+        except InfeasibleOperatingPoint:
+            mark = None
+        curves.append(
+            Figure1Curve(
+                technology=chip.tech.name,
+                n=n,
+                efficiencies=tuple(p.eps_n for p in solved),
+                normalized_power=tuple(p.normalized_power for p in solved),
+                sample_mark=mark,
+            )
+        )
+    return curves
+
+
+def figure2_sweep(
+    chip: AnalyticalChipModel,
+    core_counts: Sequence[int] = FIGURE2_CORE_COUNTS,
+    efficiency: EfficiencyCurve | None = None,
+) -> Figure2Curve:
+    """Regenerate one Figure 2 curve (speedup vs N at eps_n = 1)."""
+    scenario = PerformanceOptimizationScenario(chip)
+    points = scenario.speedup_curve(efficiency or ConstantEfficiency(1.0), core_counts)
+    return Figure2Curve(
+        technology=chip.tech.name,
+        core_counts=tuple(p.n for p in points),
+        speedups=tuple(p.speedup for p in points),
+        regimes=tuple(p.regime for p in points),
+    )

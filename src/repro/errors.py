@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A model or simulator was constructed with inconsistent parameters."""
+
+
+class InfeasibleOperatingPoint(ReproError):
+    """The requested (V, f, N) operating point cannot be realised.
+
+    Raised, for example, when Scenario I would need to overclock beyond the
+    nominal frequency (``N * eps_n < 1``, Section 2.2 of the paper), or when
+    a requested voltage falls outside the technology's legal range.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver (thermal fixed point, bisection) failed to converge."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload model was asked for an unsupported configuration.
+
+    Some SPLASH-2 applications only run on power-of-two thread counts
+    (Section 4.1); asking for e.g. 6 threads raises this.
+    """

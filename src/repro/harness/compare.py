@@ -1,0 +1,125 @@
+"""Quantify the paper's claim: analytical vs experimental agreement.
+
+The paper validates its analytical model by eyeballing the simulation's
+Figure 3 against Figure 1.  This harness does it numerically: feed each
+application's *measured* nominal-efficiency curve into the analytical
+Scenario I, predict the normalized power at every (app, N), and compare
+against the experimental pipeline's measurement.  The result is a
+per-point relative error and per-app/overall agreement statistics — the
+reproduction's analogue of a model-validation table.
+
+Systematic gaps are expected and informative: the analytical model
+assumes system-wide DVFS and a constant activity factor, so it misses
+the memory-gap speedup boost and the activity differences between
+applications (Sections 2.2 and 4.1 call these out explicitly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.efficiency import MeasuredEfficiency
+from repro.core.powermodel import AnalyticalChipModel
+from repro.core.scenario1 import PowerOptimizationScenario
+from repro.errors import ConfigurationError, InfeasibleOperatingPoint
+from repro.harness.scenario1 import Scenario1Row
+from repro.tech.technology import TechnologyNode, NODE_65NM
+
+
+@dataclass(frozen=True)
+class AgreementPoint:
+    """Analytical prediction vs experimental measurement at one (app, N)."""
+
+    app: str
+    n: int
+    eps_n: float
+    predicted_power: float
+    measured_power: float
+
+    @property
+    def relative_error(self) -> float:
+        """(measured - predicted) / measured."""
+        return (self.measured_power - self.predicted_power) / self.measured_power
+
+    @property
+    def log_ratio(self) -> float:
+        """log(measured / predicted) — symmetric agreement measure."""
+        return math.log(self.measured_power / self.predicted_power)
+
+
+@dataclass(frozen=True)
+class AgreementSummary:
+    """Aggregate agreement over a set of points."""
+
+    points: tuple
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ConfigurationError("no agreement points")
+
+    @property
+    def mean_abs_log_ratio(self) -> float:
+        """Mean |log(measured/predicted)|; 0.69 means a factor of 2."""
+        return sum(abs(p.log_ratio) for p in self.points) / len(self.points)
+
+    @property
+    def worst_factor(self) -> float:
+        """Largest measured/predicted discrepancy as a >= 1 factor."""
+        return max(math.exp(abs(p.log_ratio)) for p in self.points)
+
+    def within_factor(self, factor: float) -> float:
+        """Fraction of points agreeing within the given factor."""
+        if factor < 1.0:
+            raise ConfigurationError("factor must be >= 1")
+        bound = math.log(factor)
+        inside = sum(1 for p in self.points if abs(p.log_ratio) <= bound)
+        return inside / len(self.points)
+
+
+def compare_scenario1(
+    experimental: Dict[str, List[Scenario1Row]],
+    tech: TechnologyNode = NODE_65NM,
+    vf_table=None,
+) -> AgreementSummary:
+    """Predict every experimental Figure 3 power point analytically.
+
+    ``experimental`` is the output of
+    :func:`repro.harness.scenario1.run_scenario1`.  Pass the harness's
+    ``context.vf_table`` as ``vf_table`` so both models use the same
+    operating points; otherwise the analytical side's deeper alpha-law
+    voltages predict systematically larger savings.
+    """
+    if vf_table is None:
+        from repro.tech.technology import VFTable
+
+        vf_table = VFTable.linear(tech, f_min=200e6, f_max=tech.f_nominal, step=200e6)
+    scenario = PowerOptimizationScenario(
+        AnalyticalChipModel(tech), vf_table=vf_table
+    )
+    points: List[AgreementPoint] = []
+    for app, rows in experimental.items():
+        table = {
+            row.n: row.nominal_efficiency for row in rows if row.n > 1
+        }
+        if not table:
+            continue
+        efficiency = MeasuredEfficiency(table)
+        for row in rows:
+            if row.n == 1:
+                continue
+            try:
+                predicted = scenario.solve(row.n, efficiency(row.n)).normalized_power
+            except InfeasibleOperatingPoint:
+                continue
+            points.append(
+                AgreementPoint(
+                    app=app,
+                    n=row.n,
+                    eps_n=row.nominal_efficiency,
+                    predicted_power=predicted,
+                    measured_power=row.normalized_power,
+                )
+            )
+    return AgreementSummary(points=tuple(points))

@@ -1,0 +1,112 @@
+"""Shared experimental infrastructure (Sections 3.1-3.3 assembled).
+
+One :class:`ExperimentContext` owns everything the evaluation pipelines
+need: the Table 1 CMP configuration, the HotSpot-style thermal model over
+the 16-core floorplan, the Wattch energy model, the static-power curve,
+the Section 3.3 power calibration, and the V/f operating-point table.
+
+Construction runs the calibration microbenchmark once; contexts are
+intended to be built once and shared across experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.power.calibration import PowerCalibration, calibrate_power_model
+from repro.power.chippower import ChipPowerModel, ChipPowerResult
+from repro.power.static import StaticPowerModel
+from repro.power.wattch import UnitEnergies, WattchModel
+from repro.sim.cmp import ChipMultiprocessor, CMPConfig, SimulationResult
+from repro.tech.technology import NODE_65NM, TechnologyNode, VFTable
+from repro.thermal.floorplan import cmp_floorplan
+from repro.thermal.hotspot import HotSpotModel
+from repro.workloads.base import WorkloadModel
+
+
+class ExperimentContext:
+    """The assembled Table 1 machine plus its power/thermal toolchain."""
+
+    def __init__(
+        self,
+        cmp_config: Optional[CMPConfig] = None,
+        tech: TechnologyNode = NODE_65NM,
+        ambient_celsius: float = 45.0,
+        energies: Optional[UnitEnergies] = None,
+        static_model: Optional[StaticPowerModel] = None,
+        vf_step_hz: float = 200e6,
+        f_min_hz: float = 200e6,
+        workload_scale: float = 1.0,
+    ) -> None:
+        if workload_scale <= 0:
+            raise ConfigurationError("workload_scale must be positive")
+        self.cmp_config = cmp_config or CMPConfig(
+            frequency_hz=tech.f_nominal, voltage=tech.vdd_nominal
+        )
+        self.tech = tech
+        self.workload_scale = workload_scale
+        self.thermal = HotSpotModel(
+            cmp_floorplan(self.cmp_config.n_cores),
+            ambient_celsius=ambient_celsius,
+            exclude_from_average=("l2",),
+        )
+        self.wattch = WattchModel(energies)
+        self.static_model = static_model or StaticPowerModel(
+            design_ratio=tech.static_fraction_nominal
+            / (1.0 - tech.static_fraction_nominal)
+        )
+        #: The Pentium-M-style operating-point table of Section 3.1:
+        #: 200 MHz .. f_nominal in 200 MHz steps, VID linear in frequency
+        #: like the datasheet the paper extrapolates from [18].
+        self.vf_table = VFTable.linear(
+            tech, f_min=f_min_hz, f_max=tech.f_nominal, step=vf_step_hz
+        )
+        self.calibration: PowerCalibration = calibrate_power_model(
+            self.cmp_config, self.thermal, self.wattch, self.static_model
+        )
+        self.chip_power = ChipPowerModel(
+            self.thermal, self.wattch, self.static_model, self.calibration
+        )
+
+    @property
+    def f_nominal(self) -> float:
+        """Nominal chip frequency (Table 1: 3.2 GHz)."""
+        return self.tech.f_nominal
+
+    @property
+    def f_min(self) -> float:
+        """Lowest supported chip frequency (Section 3.1: 200 MHz)."""
+        return self.vf_table.f_min
+
+    def clamp_frequency(self, f_hz: float) -> float:
+        """Clamp a target frequency into the legal scaling range."""
+        return min(max(f_hz, self.f_min), self.f_nominal)
+
+    def run(
+        self,
+        model: WorkloadModel,
+        n_threads: int,
+        frequency_hz: Optional[float] = None,
+        voltage: Optional[float] = None,
+    ) -> Tuple[SimulationResult, ChipPowerResult]:
+        """Simulate one configuration and evaluate its power/thermal state.
+
+        Frequency defaults to nominal; voltage defaults to the V/f table's
+        entry for the chosen frequency.
+        """
+        f_hz = self.clamp_frequency(frequency_hz or self.f_nominal)
+        v = voltage if voltage is not None else self.vf_table.voltage_for_frequency(f_hz)
+        config = self.cmp_config.with_operating_point(f_hz, v)
+        scaled = model
+        if self.workload_scale != 1.0:
+            scaled = WorkloadModel(model.spec.scaled(self.workload_scale))
+        chip = ChipMultiprocessor(config)
+        result = chip.run(
+            [scaled.thread_ops(t, n_threads) for t in range(n_threads)],
+            scaled.core_timing(),
+            warmup_barriers=scaled.warmup_barriers,
+        )
+        power = self.chip_power.evaluate(result)
+        return result, power

@@ -1,0 +1,146 @@
+"""Design-space sensitivity sweeps over the CMP substrate.
+
+The paper fixes its machine (Table 1) and varies only (N, V, f).  Its
+related work (Huh et al. [17], Ekman & Stenström [9]) asks the prior
+question: how sensitive are the conclusions to the machine itself?
+This module sweeps one architectural parameter at a time — L2 capacity,
+bus width, memory latency — and reports how an application's nominal
+efficiency and memory boundedness move, using the same simulator stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.bus import BusConfig
+from repro.sim.cache import CacheConfig
+from repro.sim.cmp import ChipMultiprocessor, CMPConfig
+from repro.sim.memory import MemoryConfig
+from repro.workloads.base import WorkloadModel
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One machine variant's measurements for one application."""
+
+    label: str
+    n: int
+    execution_time_s: float
+    nominal_efficiency: float
+    l1_miss_rate: float
+    memory_stall_fraction: float
+    bus_utilisation: float
+
+
+def _run(config: CMPConfig, model: WorkloadModel, n: int):
+    chip = ChipMultiprocessor(config)
+    return chip.run(
+        [model.thread_ops(t, n) for t in range(n)],
+        model.core_timing(),
+        warmup_barriers=model.warmup_barriers,
+    )
+
+
+def sweep_design_parameter(
+    model: WorkloadModel,
+    variants: Dict[str, CMPConfig],
+    n_threads: int = 8,
+) -> List[DesignPoint]:
+    """Measure one application across labelled machine variants.
+
+    Each variant runs at 1 and ``n_threads`` cores so the nominal
+    efficiency (Eq. 6) is measured per machine, like the paper's
+    profiling step.
+    """
+    if not variants:
+        raise ConfigurationError("need at least one variant")
+    points: List[DesignPoint] = []
+    for label, config in variants.items():
+        t1 = _run(config, model, 1).execution_time_ps
+        result = _run(config, model, n_threads)
+        tn = result.execution_time_ps
+        points.append(
+            DesignPoint(
+                label=label,
+                n=n_threads,
+                execution_time_s=result.execution_time_s,
+                nominal_efficiency=t1 / (n_threads * tn),
+                l1_miss_rate=result.l1_miss_rate(),
+                memory_stall_fraction=result.memory_stall_fraction(),
+                bus_utilisation=result.bus.utilisation(tn),
+            )
+        )
+    return points
+
+
+def l2_capacity_variants(
+    capacities_mb: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    base: CMPConfig | None = None,
+) -> Dict[str, CMPConfig]:
+    """Machines differing only in shared-L2 capacity (Table 1 uses 4 MB)."""
+    base = base or CMPConfig()
+    variants = {}
+    for mb in capacities_mb:
+        capacity = int(mb * 1024 * 1024)
+        variants[f"L2={mb:g}MB"] = replace(
+            base,
+            l2_config=CacheConfig(
+                capacity_bytes=capacity,
+                line_bytes=base.l2_config.line_bytes,
+                associativity=base.l2_config.associativity,
+            ),
+        )
+    return variants
+
+
+def bus_width_variants(
+    data_cycles: Sequence[int] = (2, 4, 8, 16),
+    base: CMPConfig | None = None,
+) -> Dict[str, CMPConfig]:
+    """Machines differing in bus data-transfer occupancy (width)."""
+    base = base or CMPConfig()
+    return {
+        f"bus-data={cycles}cyc": replace(
+            base,
+            bus_config=BusConfig(
+                address_cycles=base.bus_config.address_cycles,
+                data_cycles=cycles,
+            ),
+        )
+        for cycles in data_cycles
+    }
+
+
+def memory_latency_variants(
+    latencies_ns: Sequence[float] = (40.0, 75.0, 150.0, 300.0),
+    base: CMPConfig | None = None,
+) -> Dict[str, CMPConfig]:
+    """Machines differing in DRAM round-trip latency (Table 1: 75 ns)."""
+    base = base or CMPConfig()
+    return {
+        f"mem={ns:g}ns": replace(
+            base,
+            memory_config=MemoryConfig(
+                round_trip_ns=ns,
+                n_banks=base.memory_config.n_banks,
+                bank_busy_ns=base.memory_config.bank_busy_ns,
+            ),
+        )
+        for ns in latencies_ns
+    }
+
+
+def interconnect_variants(
+    crossbar_channels: Sequence[int] = (2, 4, 8),
+    base: CMPConfig | None = None,
+) -> Dict[str, CMPConfig]:
+    """The paper's shared bus versus banked crossbars (extension)."""
+    base = base or CMPConfig()
+    variants = {"bus": replace(base, interconnect="bus")}
+    for channels in crossbar_channels:
+        variants[f"xbar-{channels}ch"] = replace(
+            base, interconnect="crossbar", crossbar_channels=channels
+        )
+    return variants

@@ -1,0 +1,197 @@
+"""Online DVFS governors: replacing the paper's offline profiling.
+
+The paper picks operating points *offline*: profile first, compute the
+Eq. 7 frequency or the budget-legal point, then re-run.  A production
+chip does it *online* — a governor watches recent behaviour and steps
+the frequency at intervals.  This harness implements that control loop
+on top of the simulator by slicing a workload's phases into windows and
+carrying cache state forward between them:
+
+1. run one barrier-delimited window at the current operating point;
+2. feed the window's measurements to a :class:`Governor`;
+3. apply the governor's frequency for the next window.
+
+Because the simulator charges DVFS through clock domains only, a
+sequence of windows at different points composes exactly.  Two governors
+are provided:
+
+* :class:`PerformanceGovernor` — a budget-chasing controller in the
+  spirit of Scenario II: step down when measured chip power exceeds the
+  budget, step up when there is headroom (a textbook ondemand-style
+  ladder walk);
+* :class:`MemorySlackGovernor` — steps down when the window is
+  memory-stall dominated (the frequency barely matters, Section 4.1's
+  insight) and back up when compute-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.harness.context import ExperimentContext
+from repro.sim.cmp import ChipSession, SimulationResult
+from repro.sim.ops import OP_BARRIER
+from repro.workloads.base import WorkloadModel
+
+
+@dataclass(frozen=True)
+class WindowMeasurement:
+    """What the governor sees after each control window."""
+
+    index: int
+    frequency_hz: float
+    execution_time_s: float
+    power_w: float
+    memory_stall_fraction: float
+
+
+class Governor(Protocol):
+    """Policy: map the last window's measurement to the next frequency."""
+
+    def next_frequency(self, measurement: WindowMeasurement) -> float:
+        """Frequency for the next window (will be clamped to the table)."""
+
+
+@dataclass
+class PerformanceGovernor:
+    """Chase a power budget with a frequency ladder walk."""
+
+    budget_w: float
+    step_hz: float = 200e6
+    f_max_hz: float = 3.2e9
+    f_min_hz: float = 200e6
+    #: Step up only when power is below this fraction of the budget.
+    headroom: float = 0.85
+
+    def next_frequency(self, measurement: WindowMeasurement) -> float:
+        f = measurement.frequency_hz
+        if measurement.power_w > self.budget_w:
+            f -= self.step_hz
+        elif measurement.power_w < self.headroom * self.budget_w:
+            f += self.step_hz
+        return min(self.f_max_hz, max(self.f_min_hz, f))
+
+
+@dataclass
+class MemorySlackGovernor:
+    """Slow down while memory-bound; speed back up when compute-bound."""
+
+    stall_down_threshold: float = 0.6
+    stall_up_threshold: float = 0.35
+    step_hz: float = 400e6
+    f_max_hz: float = 3.2e9
+    f_min_hz: float = 200e6
+
+    def next_frequency(self, measurement: WindowMeasurement) -> float:
+        f = measurement.frequency_hz
+        if measurement.memory_stall_fraction > self.stall_down_threshold:
+            f -= self.step_hz
+        elif measurement.memory_stall_fraction < self.stall_up_threshold:
+            f += self.step_hz
+        return min(self.f_max_hz, max(self.f_min_hz, f))
+
+
+@dataclass(frozen=True)
+class GovernedRun:
+    """Outcome of a governed execution."""
+
+    windows: Tuple[WindowMeasurement, ...]
+    total_time_s: float
+    total_energy_j: float
+
+    @property
+    def average_power_w(self) -> float:
+        """Energy over time."""
+        return self.total_energy_j / self.total_time_s if self.total_time_s else 0.0
+
+    @property
+    def frequency_trajectory(self) -> Tuple[float, ...]:
+        """The per-window frequencies the governor chose."""
+        return tuple(w.frequency_hz for w in self.windows)
+
+
+def _split_into_windows(ops: List[tuple], barriers_per_window: int) -> List[List[tuple]]:
+    """Split one thread's op list at every k-th barrier."""
+    windows: List[List[tuple]] = [[]]
+    barriers = 0
+    for op in ops:
+        windows[-1].append(op)
+        if op[0] == OP_BARRIER:
+            barriers += 1
+            if barriers % barriers_per_window == 0:
+                windows.append([])
+    if not windows[-1]:
+        windows.pop()
+    return windows
+
+
+def run_governed(
+    context: ExperimentContext,
+    model: WorkloadModel,
+    n_threads: int,
+    governor: Governor,
+    initial_frequency_hz: Optional[float] = None,
+    barriers_per_window: int = 2,
+) -> GovernedRun:
+    """Execute a workload under an online DVFS governor.
+
+    The workload's phases are grouped into control windows of
+    ``barriers_per_window`` barriers; each window runs at the frequency
+    the governor chose from the previous window's measurement.  The
+    machine persists across windows (a :class:`repro.sim.cmp.ChipSession`),
+    so caches stay warm through operating-point changes — the first
+    window, which includes the workload's initialization phase, is the
+    only cold one.
+    """
+    if barriers_per_window < 1:
+        raise ConfigurationError("barriers_per_window must be >= 1")
+    scaled = model
+    if context.workload_scale != 1.0:
+        scaled = WorkloadModel(model.spec.scaled(context.workload_scale))
+    per_thread = [list(scaled.thread_ops(t, n_threads)) for t in range(n_threads)]
+    window_count = min(
+        len(_split_into_windows(ops, barriers_per_window)) for ops in per_thread
+    )
+    thread_windows = [
+        _split_into_windows(ops, barriers_per_window)[:window_count]
+        for ops in per_thread
+    ]
+
+    frequency = context.clamp_frequency(
+        initial_frequency_hz or context.f_nominal
+    )
+    voltage = context.vf_table.voltage_for_frequency(frequency)
+    session = ChipSession(
+        context.cmp_config.with_operating_point(frequency, voltage),
+        n_threads=n_threads,
+        timing=scaled.core_timing(),
+    )
+    measurements: List[WindowMeasurement] = []
+    total_time = 0.0
+    total_energy = 0.0
+    for index in range(window_count):
+        result = session.run_window(
+            [thread_windows[t][index] for t in range(n_threads)]
+        )
+        power = context.chip_power.evaluate(result)
+        measurement = WindowMeasurement(
+            index=index,
+            frequency_hz=frequency,
+            execution_time_s=result.execution_time_s,
+            power_w=power.total_w,
+            memory_stall_fraction=result.memory_stall_fraction(),
+        )
+        measurements.append(measurement)
+        total_time += result.execution_time_s
+        total_energy += power.energy_j
+        frequency = context.clamp_frequency(governor.next_frequency(measurement))
+        voltage = context.vf_table.voltage_for_frequency(frequency)
+        session.set_operating_point(frequency, voltage)
+
+    return GovernedRun(
+        windows=tuple(measurements),
+        total_time_s=total_time,
+        total_energy_j=total_energy,
+    )

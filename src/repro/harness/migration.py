@@ -1,0 +1,162 @@
+"""Activity migration: rotate hot work across cores to flatten hotspots.
+
+The paper's thermal story is steady-state: one core at full throttle
+sits at the 100 C design point.  The thermal-management literature it
+cites ([12], [38]) adds a time axis: because silicon heats with an RC
+time constant (tens of milliseconds — see
+:mod:`repro.harness.thermal_transient`), *migrating* a hot thread among
+idle cores faster than that constant spreads the heat over more silicon
+and lowers the peak temperature, at the cost of cold-cache misses after
+every hop.
+
+This harness runs a single-threaded workload on a many-core chip through
+a :class:`~repro.sim.cmp.ChipSession`, either pinned to core 0 or
+rotated round-robin over ``rotation_set`` cores each window, then plays
+the resulting sequence of per-window power maps through the transient RC
+network and reports the peak block temperature and the migration's
+performance cost (which the warm session measures for real: the L1 the
+thread left behind is useless after a hop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.harness.context import ExperimentContext
+from repro.sim.cmp import ChipSession
+from repro.sim.ops import OP_BARRIER
+from repro.units import kelvin_to_celsius
+from repro.workloads.base import WorkloadModel
+
+
+@dataclass(frozen=True)
+class MigrationResult:
+    """One policy's outcome (pinned or rotated)."""
+
+    policy: str
+    total_time_s: float
+    peak_temperature_c: float
+    #: Peak steady-state temperature the same power maps would reach if
+    #: held forever (the no-time-axis upper bound).
+    steady_peak_c: float
+    l1_miss_rate: float
+    window_count: int
+
+
+def _strip_barriers(ops: Sequence[tuple]) -> List[tuple]:
+    return [op for op in ops if op[0] != OP_BARRIER]
+
+
+def _windows_of(model: WorkloadModel, scale: float, per_window_barriers: int):
+    spec_model = model
+    if scale != 1.0:
+        spec_model = WorkloadModel(model.spec.scaled(scale))
+    ops = list(spec_model.thread_ops(0, 1))
+    windows: List[List[tuple]] = [[]]
+    barriers = 0
+    for op in ops:
+        if op[0] == OP_BARRIER:
+            barriers += 1
+            if barriers % per_window_barriers == 0:
+                windows.append([])
+            continue
+        windows[-1].append(op)
+    return [w for w in windows if w], spec_model
+
+
+def run_activity_migration(
+    context: ExperimentContext,
+    model: WorkloadModel,
+    rotation_set: int = 4,
+    rotate: bool = True,
+    per_window_barriers: int = 1,
+    transient_dt_s: float = 1e-3,
+    assumed_window_s: float = 20e-3,
+) -> MigrationResult:
+    """Run one policy and report thermal peak + performance.
+
+    ``assumed_window_s`` stretches each simulated window to a realistic
+    OS-scheduler quantum for the thermal playback (the simulated windows
+    are microseconds long at library scale; heat needs milliseconds).
+    The power maps are unaffected — they are averages.
+    """
+    if rotation_set < 1 or rotation_set > context.cmp_config.n_cores:
+        raise ConfigurationError("rotation_set outside the chip")
+    windows, scaled = _windows_of(
+        model, context.workload_scale, per_window_barriers
+    )
+    if not windows:
+        raise ConfigurationError("workload produced no windows")
+
+    session = ChipSession(
+        context.cmp_config,
+        n_threads=rotation_set,
+        timing=scaled.core_timing(),
+    )
+
+    total_time = 0.0
+    power_maps: List[Dict[str, float]] = []
+    durations: List[float] = []
+    misses = accesses = 0
+    for index, window in enumerate(windows):
+        home = (index % rotation_set) if rotate else 0
+        thread_ops: List[List[tuple]] = [[] for _ in range(rotation_set)]
+        thread_ops[home] = list(window)
+        result = session.run_window(thread_ops)
+        power = context.chip_power.evaluate(result)
+        power_maps.append(dict(power.power_map))
+        durations.append(result.execution_time_s)
+        total_time += result.execution_time_s
+        misses += result.coherence.l1_misses
+        accesses += result.coherence.l1_hits + result.coherence.l1_misses
+
+    # Thermal playback: hold each window's map for a scheduler quantum.
+    network = context.thermal.network
+    ambient = context.thermal.ambient_k
+    excluded = set(context.thermal.exclude_from_average)
+    state = network.steady_state(power_maps[0], ambient)
+    peak_k = max(t for n, t in state.items() if n not in excluded)
+    steady_peak_k = peak_k
+    for power_map in power_maps[1:]:
+        steady = network.steady_state(power_map, ambient)
+        steady_peak_k = max(
+            steady_peak_k,
+            max(t for n, t in steady.items() if n not in excluded),
+        )
+        state = network.transient(
+            power_map,
+            ambient,
+            initial_k=state,
+            duration_s=assumed_window_s,
+            dt_s=transient_dt_s,
+        )
+        peak_k = max(
+            peak_k, max(t for n, t in state.items() if n not in excluded)
+        )
+
+    return MigrationResult(
+        policy=f"rotate-{rotation_set}" if rotate else "pinned",
+        total_time_s=total_time,
+        peak_temperature_c=kelvin_to_celsius(peak_k),
+        steady_peak_c=kelvin_to_celsius(steady_peak_k),
+        l1_miss_rate=misses / accesses if accesses else 0.0,
+        window_count=len(windows),
+    )
+
+
+def compare_migration(
+    context: ExperimentContext,
+    model: WorkloadModel,
+    rotation_set: int = 4,
+    **kwargs,
+) -> Tuple[MigrationResult, MigrationResult]:
+    """(pinned, rotated) results for one workload."""
+    pinned = run_activity_migration(
+        context, model, rotation_set=rotation_set, rotate=False, **kwargs
+    )
+    rotated = run_activity_migration(
+        context, model, rotation_set=rotation_set, rotate=True, **kwargs
+    )
+    return pinned, rotated

@@ -1,0 +1,78 @@
+"""Nominal-V/f profiling (the first step of Sections 4.1 and 4.2).
+
+A profile runs an application at nominal voltage and frequency on every
+supported core count, recording execution time and power.  From it come
+the application's nominal parallel efficiency curve (Eq. 6), its nominal
+speedups, and the single-core power baseline the Figure 3 normalisations
+use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.harness.context import ExperimentContext
+from repro.power.chippower import ChipPowerResult
+from repro.sim.cmp import SimulationResult
+from repro.workloads.base import WorkloadModel
+
+
+@dataclass(frozen=True)
+class ProfileEntry:
+    """One (application, N) point at nominal V/f."""
+
+    n: int
+    result: SimulationResult
+    power: ChipPowerResult
+
+    @property
+    def execution_time_ps(self) -> int:
+        """Measured execution time (picoseconds)."""
+        return self.result.execution_time_ps
+
+
+@dataclass
+class ApplicationProfile:
+    """An application's nominal-V/f characterisation."""
+
+    app: str
+    entries: Dict[int, ProfileEntry]
+
+    def core_counts(self) -> List[int]:
+        """Profiled core counts, ascending."""
+        return sorted(self.entries)
+
+    def nominal_efficiency(self, n: int) -> float:
+        """Eq. 6 from measured times: ``T1 / (N * TN)``."""
+        self._require(1)
+        self._require(n)
+        t1 = self.entries[1].execution_time_ps
+        tn = self.entries[n].execution_time_ps
+        return t1 / (n * tn)
+
+    def nominal_speedup(self, n: int) -> float:
+        """``T1 / TN`` at nominal V/f."""
+        self._require(1)
+        self._require(n)
+        return self.entries[1].execution_time_ps / self.entries[n].execution_time_ps
+
+    def _require(self, n: int) -> None:
+        if n not in self.entries:
+            raise ConfigurationError(f"{self.app}: no profile entry for N={n}")
+
+
+def profile_application(
+    context: ExperimentContext,
+    model: WorkloadModel,
+    core_counts: Sequence[int] = (1, 2, 4, 8, 16),
+) -> ApplicationProfile:
+    """Profile one application at nominal V/f over its supported counts."""
+    entries: Dict[int, ProfileEntry] = {}
+    for n in model.supported_thread_counts(core_counts):
+        result, power = context.run(model, n)
+        entries[n] = ProfileEntry(n=n, result=result, power=power)
+    if 1 not in entries:
+        raise ConfigurationError(f"{model.name}: the 1-core baseline is required")
+    return ApplicationProfile(app=model.name, entries=entries)

@@ -1,0 +1,86 @@
+"""Multi-seed replication: confidence that results aren't seed artefacts.
+
+The synthetic workloads are seeded; a credible reproduction should show
+its headline numbers are stable across seeds.  :func:`replicate` reruns
+any per-model experiment with re-seeded workload specs and aggregates a
+chosen scalar metric into mean / standard deviation / min / max.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import WorkloadModel
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Aggregate of one metric across seed replicas."""
+
+    metric: str
+    samples: tuple
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ConfigurationError("no samples to summarise")
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof = 1; 0 for a single sample)."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples) / (n - 1))
+
+    @property
+    def min(self) -> float:
+        """Smallest sample."""
+        return min(self.samples)
+
+    @property
+    def max(self) -> float:
+        """Largest sample."""
+        return max(self.samples)
+
+    def relative_spread(self) -> float:
+        """(max - min) / |mean| — a quick stability check."""
+        mu = self.mean
+        if mu == 0:
+            return float("inf") if self.max != self.min else 0.0
+        return (self.max - self.min) / abs(mu)
+
+
+def reseeded(model: WorkloadModel, replica: int) -> WorkloadModel:
+    """A copy of the workload with an independent seed."""
+    if replica < 0:
+        raise ConfigurationError("replica index must be >= 0")
+    spec = model.spec
+    return WorkloadModel(replace(spec, seed=spec.seed + 104_729 * (replica + 1)))
+
+
+def replicate(
+    model: WorkloadModel,
+    experiment: Callable[[WorkloadModel], float],
+    n_replicas: int = 5,
+    metric: str = "metric",
+) -> ReplicationSummary:
+    """Run ``experiment`` on ``n_replicas`` re-seeded copies of a workload.
+
+    ``experiment`` maps a workload model to one scalar (e.g. "nominal
+    efficiency at 16 cores" or "normalized power at N = 8").
+    """
+    if n_replicas < 1:
+        raise ConfigurationError("need at least one replica")
+    samples: List[float] = []
+    for replica in range(n_replicas):
+        samples.append(float(experiment(reseeded(model, replica))))
+    return ReplicationSummary(metric=metric, samples=tuple(samples))

@@ -1,0 +1,164 @@
+"""One-shot experiment report: every result the paper plots, as markdown.
+
+``generate_report`` runs the analytical sweeps and (optionally) the
+experimental pipelines on a shared context and renders a self-contained
+markdown document — the artefact a user keeps from a reproduction run.
+The ``repro report`` CLI command wraps it.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core import (
+    AnalyticalChipModel,
+    EnergyOptimizationScenario,
+    SAMPLE_APPLICATION,
+    figure1_sweep,
+    figure2_sweep,
+)
+from repro.harness.context import ExperimentContext
+from repro.harness.scenario1 import run_scenario1
+from repro.harness.scenario2 import run_scenario2
+from repro.tech import NODE_130NM, NODE_65NM
+from repro.workloads import workload_by_name
+
+
+@dataclass(frozen=True)
+class ReportOptions:
+    """What to include and how hard to run."""
+
+    include_experimental: bool = True
+    workload_scale: float = 0.25
+    scenario1_apps: Sequence[str] = ("FMM", "LU", "Ocean", "Cholesky", "Radix")
+    scenario2_apps: Sequence[str] = ("FMM", "Cholesky", "Radix")
+    scenario2_core_counts: Sequence[int] = (1, 2, 4, 8, 12, 16)
+
+
+def _markdown_table(headers: Sequence[str], rows) -> str:
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    out = io.StringIO()
+    out.write("| " + " | ".join(headers) + " |\n")
+    out.write("|" + "|".join("---" for _ in headers) + "|\n")
+    for row in rows:
+        out.write("| " + " | ".join(fmt(c) for c in row) + " |\n")
+    return out.getvalue()
+
+
+def _analytical_sections(out: io.StringIO) -> None:
+    out.write("## Figure 1 — analytical power optimization\n\n")
+    for node in (NODE_130NM, NODE_65NM):
+        chip = AnalyticalChipModel(node)
+        curves = figure1_sweep(chip, efficiency_points=41)
+        rows = []
+        for curve in curves:
+            def nearest(target, curve=curve):
+                candidates = [
+                    (abs(eps - target), power)
+                    for eps, power in zip(
+                        curve.efficiencies, curve.normalized_power
+                    )
+                ]
+                if not candidates:
+                    return float("nan")
+                distance, power = min(candidates)
+                return power if distance < 0.02 else float("nan")
+
+            rows.append([curve.n, nearest(0.5), nearest(0.75), nearest(1.0)])
+        out.write(f"### {node.name}\n\n")
+        out.write(
+            _markdown_table(["N", "P@eps=0.5", "P@eps=0.75", "P@eps=1.0"], rows)
+        )
+        out.write("\n")
+
+    out.write("## Figure 2 — analytical speedup under the power budget\n\n")
+    for node in (NODE_130NM, NODE_65NM):
+        curve = figure2_sweep(AnalyticalChipModel(node))
+        n_peak, s_peak = curve.peak()
+        lookup = dict(zip(curve.core_counts, curve.speedups))
+        rows = [[n, lookup[n]] for n in (1, 2, 4, 8, 16, 24, 32) if n in lookup]
+        out.write(f"### {node.name} (peak {s_peak:.2f}x at N = {n_peak})\n\n")
+        out.write(_markdown_table(["N", "speedup"], rows))
+        out.write("\n")
+
+    out.write("## Scenario III (extension) — energy-optimal points\n\n")
+    scenario = EnergyOptimizationScenario(AnalyticalChipModel(NODE_65NM))
+    points = scenario.energy_curve(SAMPLE_APPLICATION, (1, 2, 4, 8, 16))
+    out.write(
+        _markdown_table(
+            ["N", "f* (GHz)", "E / E_nom", "T / T_nom"],
+            [
+                [p.n, p.frequency_hz / 1e9, p.relative_energy, p.relative_time]
+                for p in points
+            ],
+        )
+    )
+    out.write("\n")
+
+
+def _experimental_sections(out: io.StringIO, options: ReportOptions) -> None:
+    context = ExperimentContext(workload_scale=options.workload_scale)
+    out.write(
+        f"*Experimental context: workload scale {options.workload_scale}, "
+        f"power budget {context.calibration.max_operational_power_w:.1f} W.*\n\n"
+    )
+
+    out.write("## Figure 3 — experimental Scenario I\n\n")
+    models = [workload_by_name(app) for app in options.scenario1_apps]
+    fig3 = run_scenario1(context, models)
+    rows = [
+        [
+            app,
+            r.n,
+            r.nominal_efficiency,
+            r.actual_speedup,
+            r.normalized_power,
+            r.normalized_power_density,
+            r.average_temperature_c,
+        ]
+        for app, app_rows in fig3.items()
+        for r in app_rows
+    ]
+    out.write(
+        _markdown_table(
+            ["app", "N", "eps_n", "speedup", "norm P", "norm density", "T (C)"],
+            rows,
+        )
+    )
+    out.write("\n")
+
+    out.write("## Figure 4 — experimental Scenario II\n\n")
+    models = [workload_by_name(app) for app in options.scenario2_apps]
+    fig4 = run_scenario2(context, models, core_counts=options.scenario2_core_counts)
+    rows = [
+        [app, r.n, r.nominal_speedup, r.actual_speedup, r.frequency_hz / 1e9, r.power_w]
+        for app, app_rows in fig4.items()
+        for r in app_rows
+    ]
+    out.write(
+        _markdown_table(
+            ["app", "N", "nominal", "actual", "f (GHz)", "P (W)"], rows
+        )
+    )
+    out.write("\n")
+
+
+def generate_report(options: Optional[ReportOptions] = None) -> str:
+    """Render the full markdown report; returns the document text."""
+    options = options or ReportOptions()
+    out = io.StringIO()
+    out.write(
+        "# repro experiment report\n\n"
+        "Reproduction of Li & Martinez, *Power-Performance Implications of "
+        "Thread-level Parallelism on Chip Multiprocessors* (ISPASS 2005).\n\n"
+    )
+    _analytical_sections(out)
+    if options.include_experimental:
+        _experimental_sections(out, options)
+    return out.getvalue()

@@ -1,0 +1,97 @@
+"""Persistence for experiment results (JSON on disk).
+
+Experimental pipelines take minutes at full scale; a release-grade
+harness lets users save a campaign's rows and reload them later for
+reporting or comparison without re-simulating.  The store serialises the
+flat row dataclasses (:class:`Scenario1Row`, :class:`Scenario2Row`,
+:class:`PerCoreDVFSResult`, :class:`DesignPoint`) with a type tag and a
+schema version, and refuses files it does not understand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.harness.designspace import DesignPoint
+from repro.harness.percore import PerCoreDVFSResult
+from repro.harness.scenario1 import Scenario1Row
+from repro.harness.scenario2 import OverclockRow, Scenario2Row
+
+#: Bump when the row schemas change incompatibly.
+SCHEMA_VERSION = 1
+
+_ROW_TYPES = {
+    "scenario1": Scenario1Row,
+    "scenario2": Scenario2Row,
+    "overclock": OverclockRow,
+    "percore": PerCoreDVFSResult,
+    "designpoint": DesignPoint,
+}
+_TYPE_NAMES = {cls: name for name, cls in _ROW_TYPES.items()}
+
+PathLike = Union[str, Path]
+Row = Union[Scenario1Row, Scenario2Row, OverclockRow, PerCoreDVFSResult, DesignPoint]
+
+
+def _encode_row(row: Row) -> Dict:
+    cls = type(row)
+    name = _TYPE_NAMES.get(cls)
+    if name is None:
+        raise ConfigurationError(f"cannot store rows of type {cls.__name__}")
+    payload = dataclasses.asdict(row)
+    # Tuples become lists in JSON; decode restores them via the dataclass.
+    return {"type": name, "data": payload}
+
+
+def _decode_row(obj: Dict) -> Row:
+    try:
+        cls = _ROW_TYPES[obj["type"]]
+        data = obj["data"]
+    except (KeyError, TypeError) as exc:
+        raise ConfigurationError(f"malformed result entry: {obj!r}") from exc
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ConfigurationError(
+            f"{obj['type']} entry has unknown fields {sorted(unknown)}"
+        )
+    # Restore tuple-typed fields (JSON round-trips them as lists).
+    coerced = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in data.items()
+    }
+    return cls(**coerced)
+
+
+def save_results(results: Dict[str, Sequence[Row]], path: PathLike) -> None:
+    """Write a campaign — named groups of rows — to ``path`` as JSON."""
+    document = {
+        "schema": SCHEMA_VERSION,
+        "groups": {
+            name: [_encode_row(row) for row in rows]
+            for name, rows in results.items()
+        },
+    }
+    Path(path).write_text(json.dumps(document, indent=1), encoding="utf-8")
+
+
+def load_results(path: PathLike) -> Dict[str, List[Row]]:
+    """Load a campaign previously written by :func:`save_results`."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(document, dict) or "schema" not in document:
+        raise ConfigurationError(f"{path}: not a repro results file")
+    if document["schema"] != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{path}: schema {document['schema']} != supported {SCHEMA_VERSION}"
+        )
+    return {
+        name: [_decode_row(entry) for entry in entries]
+        for name, entries in document.get("groups", {}).items()
+    }

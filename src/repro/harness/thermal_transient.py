@@ -1,0 +1,118 @@
+"""Thermal step-response analysis: what happens *between* DVFS modes.
+
+The paper evaluates steady states.  Real mode switches (Scenario I's
+down-shift, Scenario II's throttling) pass through a thermal transient:
+after the power step the die approaches its new steady state with the
+package's RC time constant, and static power — exponential in
+temperature — keeps paying the *old* temperature for a while.
+
+This harness runs the RC network's implicit-Euler transient between two
+power maps and reports the trajectory and its time constant, so the
+steady-state results elsewhere can be qualified ("the cool-down takes
+~X ms; runs shorter than that see less static saving than Figure 3
+suggests").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.thermal.hotspot import HotSpotModel
+from repro.units import kelvin_to_celsius
+
+
+@dataclass(frozen=True)
+class ThermalTransient:
+    """A sampled temperature trajectory after a power step."""
+
+    #: (time_s, average_core_temperature_c) samples, t = 0 included.
+    samples: Tuple[Tuple[float, float], ...]
+    start_c: float
+    target_c: float
+
+    def __post_init__(self) -> None:
+        if len(self.samples) < 2:
+            raise ConfigurationError("need at least two samples")
+
+    def time_constant_s(self) -> float:
+        """Time to close 63.2 % of the gap to the target temperature.
+
+        Interpolates between samples; returns the last sample time if
+        the trajectory never gets that far (undersampled transient).
+        """
+        gap = self.target_c - self.start_c
+        if abs(gap) < 1e-12:
+            return 0.0
+        threshold = self.start_c + (1.0 - math.exp(-1.0)) * gap
+        previous_t, previous_T = self.samples[0]
+        for t, temperature in self.samples[1:]:
+            crossed = (
+                temperature >= threshold if gap > 0 else temperature <= threshold
+            )
+            if crossed:
+                if temperature == previous_T:
+                    return t
+                fraction = (threshold - previous_T) / (temperature - previous_T)
+                return previous_t + fraction * (t - previous_t)
+            previous_t, previous_T = t, temperature
+        return self.samples[-1][0]
+
+    def settled_fraction(self) -> float:
+        """How much of the step the last sample has closed (0..1)."""
+        gap = self.target_c - self.start_c
+        if abs(gap) < 1e-12:
+            return 1.0
+        return (self.samples[-1][1] - self.start_c) / gap
+
+
+def _average_core_c(thermal: HotSpotModel, temperatures_k: Mapping[str, float]) -> float:
+    floorplan = thermal.floorplan
+    names = [n for n in floorplan.names if n not in thermal.exclude_from_average]
+    area = sum(floorplan.block(n).area for n in names)
+    return kelvin_to_celsius(
+        sum(temperatures_k[n] * floorplan.block(n).area for n in names) / area
+    )
+
+
+def thermal_step_response(
+    thermal: HotSpotModel,
+    power_before: Mapping[str, float],
+    power_after: Mapping[str, float],
+    duration_s: float = 0.1,
+    n_samples: int = 20,
+    dt_s: float = 5e-4,
+) -> ThermalTransient:
+    """Step the chip from one power map to another and watch it settle.
+
+    The chip starts at the *steady state* of ``power_before`` and then
+    dissipates ``power_after``; samples are logarithmically unnecessary —
+    uniform sampling over ``duration_s`` is returned.
+    """
+    if duration_s <= 0 or n_samples < 2 or dt_s <= 0:
+        raise ConfigurationError("need positive duration, dt and >= 2 samples")
+
+    network = thermal.network
+    ambient = thermal.ambient_k
+    state = network.steady_state(power_before, ambient)
+    start_c = _average_core_c(thermal, state)
+    target_state = network.steady_state(power_after, ambient)
+    target_c = _average_core_c(thermal, target_state)
+
+    step_s = duration_s / (n_samples - 1)
+    samples: List[Tuple[float, float]] = [(0.0, start_c)]
+    for i in range(1, n_samples):
+        state = network.transient(
+            power_after,
+            ambient,
+            initial_k=state,
+            duration_s=step_s,
+            dt_s=dt_s,
+        )
+        samples.append((i * step_s, _average_core_c(thermal, state)))
+
+    return ThermalTransient(
+        samples=tuple(samples), start_c=start_c, target_c=target_c
+    )

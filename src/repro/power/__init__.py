@@ -1,0 +1,32 @@
+"""Power modelling for the experimental study (Section 3.3).
+
+Four pieces, mirroring the paper's toolchain:
+
+* :mod:`~repro.power.wattch` — per-event dynamic energies (the Wattch
+  [3] stand-in), aggregated over the simulator's activity counters, with
+  clock gating for idle cycles and V^2 supply scaling.
+* :mod:`~repro.power.static` — static power as a fraction of dynamic
+  power, exponentially dependent on temperature [5].
+* :mod:`~repro.power.calibration` — the paper's renormalisation: the
+  max-power microbenchmark connects Wattch's wattage scale to HotSpot's
+  physically anchored maximum operational power.
+* :mod:`~repro.power.chippower` — the full-chip integration: activity
+  counters -> per-block dynamic power -> thermal fixed point -> total
+  power, power density, and average temperature (L2 excluded from the
+  density/temperature averages, included in total power).
+"""
+
+from repro.power.wattch import UnitEnergies, WattchModel
+from repro.power.static import StaticPowerModel
+from repro.power.calibration import PowerCalibration, calibrate_power_model
+from repro.power.chippower import ChipPowerModel, ChipPowerResult
+
+__all__ = [
+    "UnitEnergies",
+    "WattchModel",
+    "StaticPowerModel",
+    "PowerCalibration",
+    "calibrate_power_model",
+    "ChipPowerModel",
+    "ChipPowerResult",
+]

@@ -1,0 +1,56 @@
+"""Static power as a temperature-dependent fraction of dynamic power.
+
+The experimental study models static power "as a fraction of the dynamic
+power consumption [5, 38]", with the fraction "exponentially dependent on
+the temperature" (Section 3.3).  The fraction is anchored at the 100 C
+maximum operating temperature, where the 65 nm node attributes 35 % of
+total power to leakage (i.e. a static/dynamic ratio of 0.35/0.65), and
+doubles every ``doubling_celsius`` degrees — the standard subthreshold
+slope the analytical model's physical leakage also exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StaticPowerModel:
+    """Exponential-in-temperature static/dynamic power ratio."""
+
+    #: Static/dynamic ratio at the design temperature (0.35/0.65 for the
+    #: 65 nm node of Table 1).
+    design_ratio: float = 0.35 / 0.65
+    #: Temperature anchor of ``design_ratio`` (the 100 C design point).
+    design_celsius: float = 100.0
+    #: Degrees of temperature rise that double the leakage.
+    doubling_celsius: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.design_ratio <= 0:
+            raise ConfigurationError("design_ratio must be positive")
+        if self.doubling_celsius <= 0:
+            raise ConfigurationError("doubling_celsius must be positive")
+
+    def ratio(self, temperature_celsius: float) -> float:
+        """Static/dynamic power ratio at the given temperature."""
+        exponent = (temperature_celsius - self.design_celsius) / self.doubling_celsius
+        return self.design_ratio * 2.0 ** exponent
+
+    def static_power_w(
+        self, dynamic_power_w: float, temperature_celsius: float
+    ) -> float:
+        """Static power implied by a dynamic power at a temperature."""
+        if dynamic_power_w < 0:
+            raise ConfigurationError("dynamic power must be non-negative")
+        return dynamic_power_w * self.ratio(temperature_celsius)
+
+    def split_total(self, total_w: float, temperature_celsius: float):
+        """Split a *total* power into (dynamic, static) at a temperature."""
+        if total_w < 0:
+            raise ConfigurationError("total power must be non-negative")
+        r = self.ratio(temperature_celsius)
+        dynamic = total_w / (1.0 + r)
+        return dynamic, total_w - dynamic

@@ -1,0 +1,142 @@
+"""Set-associative caches with LRU replacement and MESI line states.
+
+The cache stores *line states*, not data — this is a timing/energy
+simulator.  Lines are identified by their line address (byte address
+shifted by the line-size log).  States follow MESI:
+
+* ``MODIFIED`` — exclusive dirty,
+* ``EXCLUSIVE`` — exclusive clean,
+* ``SHARED`` — possibly replicated, clean,
+* invalid lines are simply absent.
+
+LRU is implemented with insertion-ordered dicts (hits reinsert the key),
+which keeps lookups O(1) — the simulator does one lookup per memory
+operation, so this is the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+# MESI states (invalid = not present).
+SHARED = 1
+EXCLUSIVE = 2
+MODIFIED = 3
+
+STATE_NAMES = {SHARED: "S", EXCLUSIVE: "E", MODIFIED: "M"}
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache (Table 1 values as defaults elsewhere)."""
+
+    capacity_bytes: int
+    line_bytes: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        if min(self.capacity_bytes, self.line_bytes, self.associativity) <= 0:
+            raise ConfigurationError("cache parameters must be positive")
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ConfigurationError("line size must be a power of two")
+        if self.capacity_bytes % (self.line_bytes * self.associativity):
+            raise ConfigurationError(
+                "capacity must divide into line_bytes * associativity"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.capacity_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def line_shift(self) -> int:
+        """log2 of the line size."""
+        return self.line_bytes.bit_length() - 1
+
+
+class Cache:
+    """One set-associative cache array tracking MESI line states."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._line_shift = config.line_shift
+        self._n_sets = config.n_sets
+        self._assoc = config.associativity
+        # One insertion-ordered dict per set: line_addr -> state.
+        self._sets: List[Dict[int, int]] = [dict() for _ in range(self._n_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def line_address(self, byte_address: int) -> int:
+        """The line address containing ``byte_address``."""
+        return byte_address >> self._line_shift
+
+    def _set_for(self, line_addr: int) -> Dict[int, int]:
+        return self._sets[line_addr % self._n_sets]
+
+    def lookup(self, line_addr: int, update_lru: bool = True) -> Optional[int]:
+        """State of the line, or None if absent.  Counts hit/miss."""
+        cache_set = self._set_for(line_addr)
+        state = cache_set.get(line_addr)
+        if state is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if update_lru:
+            del cache_set[line_addr]
+            cache_set[line_addr] = state
+        return state
+
+    def probe(self, line_addr: int) -> Optional[int]:
+        """State of the line without touching LRU or counters (snoops)."""
+        return self._set_for(line_addr).get(line_addr)
+
+    def set_state(self, line_addr: int, state: int) -> None:
+        """Change the state of a resident line (snoop downgrades etc.)."""
+        cache_set = self._set_for(line_addr)
+        if line_addr not in cache_set:
+            raise ConfigurationError(f"line {line_addr:#x} not resident")
+        cache_set[line_addr] = state
+
+    def invalidate(self, line_addr: int) -> Optional[int]:
+        """Remove a line (snoop invalidation); returns its old state."""
+        return self._set_for(line_addr).pop(line_addr, None)
+
+    def insert(self, line_addr: int, state: int) -> Optional[Tuple[int, int]]:
+        """Insert a line, evicting LRU if the set is full.
+
+        Returns ``(victim_line, victim_state)`` if something was evicted,
+        else None.  A MODIFIED victim increments the writeback counter.
+        """
+        cache_set = self._set_for(line_addr)
+        victim = None
+        if line_addr in cache_set:
+            del cache_set[line_addr]
+        elif len(cache_set) >= self._assoc:
+            victim_line = next(iter(cache_set))
+            victim_state = cache_set.pop(victim_line)
+            victim = (victim_line, victim_state)
+            self.evictions += 1
+            if victim_state == MODIFIED:
+                self.writebacks += 1
+        cache_set[line_addr] = state
+        return victim
+
+    def resident_lines(self) -> int:
+        """Number of currently valid lines (for occupancy tests)."""
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        """Fraction of lookups that missed (0 if never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0

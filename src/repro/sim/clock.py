@@ -1,0 +1,43 @@
+"""Clock domains: the DVFS-scaled chip clock versus wall-clock memory.
+
+All simulator time is integer **picoseconds**.  The chip clock converts
+cycle counts to picoseconds at the current DVFS frequency; off-chip
+memory latency is specified directly in nanoseconds and does *not* move
+with the chip clock (Section 3.1: "a round trip to memory takes the same
+amount of time regardless of the voltage/frequency scaling applied on
+chip").
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Picoseconds per second.
+PS_PER_S = 1_000_000_000_000
+
+
+class ClockDomain:
+    """A clock domain with cycle<->picosecond conversion."""
+
+    def __init__(self, frequency_hz: float) -> None:
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        self.frequency_hz = frequency_hz
+        #: Period in picoseconds (rounded; 3.2 GHz -> 312 ps).
+        self.period_ps = max(1, round(PS_PER_S / frequency_hz))
+
+    def cycles_to_ps(self, cycles: float) -> int:
+        """Convert a cycle count to integer picoseconds."""
+        return int(round(cycles * self.period_ps))
+
+    def ps_to_cycles(self, ps: int) -> float:
+        """Convert picoseconds to (fractional) cycles."""
+        return ps / self.period_ps
+
+    def __repr__(self) -> str:
+        return f"ClockDomain({self.frequency_hz / 1e9:.3f} GHz)"
+
+
+def ns_to_ps(ns: float) -> int:
+    """Convert nanoseconds to integer picoseconds."""
+    return int(round(ns * 1000.0))

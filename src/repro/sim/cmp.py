@@ -1,0 +1,445 @@
+"""The top-level chip multiprocessor: cores + L1s + bus + L2 + DRAM.
+
+:class:`ChipMultiprocessor` assembles the Table 1 machine, runs one
+parallel workload to completion, and returns a :class:`SimulationResult`
+with every counter the power/thermal pipeline needs.
+
+Scheduling is conservative-time: a min-heap keyed on each core's local
+clock always advances the furthest-behind core, so shared-resource
+reservations (bus, locks, memory banks) are handed out in consistent
+global-time order.  Barriers park arriving cores until the last thread
+arrives; the release pays a fixed synchronisation cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.bus import BankedCrossbar, BusConfig, SharedBus
+from repro.sim.cache import Cache, CacheConfig
+from repro.sim.clock import ClockDomain
+from repro.sim.coherence import CoherenceStats, MESIController
+from repro.sim.cpu import (
+    AT_BARRIER,
+    DONE,
+    RUNNING,
+    Core,
+    CoreStats,
+    CoreTimingConfig,
+    LockTable,
+)
+from repro.sim.memory import MainMemory, MemoryConfig
+
+
+@dataclass(frozen=True)
+class CMPConfig:
+    """The machine of Table 1 (defaults) with DVFS knobs.
+
+    ``frequency_hz``/``voltage`` are the chip-wide operating point (the
+    paper applies global V/f scaling).  On-chip latencies are expressed in
+    cycles and therefore track the clock; the memory config is wall-clock.
+    """
+
+    n_cores: int = 16
+    frequency_hz: float = 3.2e9
+    voltage: float = 1.1
+    l1_config: CacheConfig = CacheConfig(
+        capacity_bytes=64 * 1024, line_bytes=64, associativity=2
+    )
+    l2_config: CacheConfig = CacheConfig(
+        capacity_bytes=4 * 1024 * 1024, line_bytes=128, associativity=8
+    )
+    bus_config: BusConfig = BusConfig()
+    memory_config: MemoryConfig = MemoryConfig()
+    l1_hit_cycles: int = 2
+    l2_hit_cycles: int = 12
+    cache_to_cache_cycles: int = 16
+    barrier_release_cycles: int = 40
+    #: Thrifty-barrier mode [26]: waiting cores drop into an ACPI-like
+    #: sleep state instead of spinning.  The stall predictor wakes the
+    #: core ``sleep_wakeup_cycles`` before the (predicted) release so the
+    #: wake-up latency is hidden — the core sleeps for
+    #: ``wait - wakeup`` and spins the remainder.  A core only sleeps
+    #: when the wait exceeds twice the wake-up penalty, the break-even
+    #: rule of the paper's prior work; the predictor is idealised as
+    #: exact (no mispredictions).
+    barrier_sleep: bool = False
+    sleep_wakeup_cycles: int = 200
+    #: Interconnect topology (extension): ``"bus"`` is the paper's
+    #: machine; ``"crossbar"`` provides ``crossbar_channels`` independent
+    #: channels selected by line address.
+    interconnect: str = "bus"
+    crossbar_channels: int = 4
+    #: Next-line L1 prefetching (extension; off to match the paper).
+    prefetch_next_line: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ConfigurationError("n_cores must be >= 1")
+        if self.frequency_hz <= 0 or self.voltage <= 0:
+            raise ConfigurationError("frequency and voltage must be positive")
+        if self.sleep_wakeup_cycles < 0:
+            raise ConfigurationError("sleep_wakeup_cycles must be >= 0")
+        if self.interconnect not in ("bus", "crossbar"):
+            raise ConfigurationError(
+                f"unknown interconnect {self.interconnect!r}"
+            )
+        if self.crossbar_channels < 1:
+            raise ConfigurationError("crossbar_channels must be >= 1")
+
+    def with_operating_point(self, frequency_hz: float, voltage: float) -> "CMPConfig":
+        """A copy of this configuration at a different DVFS point."""
+        return CMPConfig(
+            n_cores=self.n_cores,
+            frequency_hz=frequency_hz,
+            voltage=voltage,
+            l1_config=self.l1_config,
+            l2_config=self.l2_config,
+            bus_config=self.bus_config,
+            memory_config=self.memory_config,
+            l1_hit_cycles=self.l1_hit_cycles,
+            l2_hit_cycles=self.l2_hit_cycles,
+            cache_to_cache_cycles=self.cache_to_cache_cycles,
+            barrier_release_cycles=self.barrier_release_cycles,
+            barrier_sleep=self.barrier_sleep,
+            sleep_wakeup_cycles=self.sleep_wakeup_cycles,
+            interconnect=self.interconnect,
+            crossbar_channels=self.crossbar_channels,
+            prefetch_next_line=self.prefetch_next_line,
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced."""
+
+    config: CMPConfig
+    n_threads: int
+    execution_time_ps: int
+    core_stats: List[CoreStats]
+    coherence: CoherenceStats
+    l1_caches: List[Cache]
+    l2: Cache
+    bus: SharedBus
+    memory_requests: int
+    lock_acquires: int
+    lock_contended: int
+    barriers: int
+    #: Per-core (frequency, voltage); equals the chip-wide operating
+    #: point unless per-core DVFS was used.
+    core_operating_points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def core_frequency(self, core_index: int) -> float:
+        """Clock frequency of one core (hertz)."""
+        if self.core_operating_points:
+            return self.core_operating_points[core_index][0]
+        return self.config.frequency_hz
+
+    def core_voltage(self, core_index: int) -> float:
+        """Supply voltage of one core (volts)."""
+        if self.core_operating_points:
+            return self.core_operating_points[core_index][1]
+        return self.config.voltage
+
+    @property
+    def execution_time_s(self) -> float:
+        """Wall-clock execution time in seconds."""
+        return self.execution_time_ps * 1e-12
+
+    @property
+    def total_instructions(self) -> int:
+        """Dynamic instructions over all threads."""
+        return sum(s.instructions for s in self.core_stats)
+
+    @property
+    def average_cpi(self) -> float:
+        """Aggregate CPI: total core-busy cycles per instruction.
+
+        Each core's cycles are counted in its own clock domain, so the
+        metric stays meaningful under per-core DVFS.
+        """
+        total_cycles = 0.0
+        for i, s in enumerate(self.core_stats):
+            clock = ClockDomain(self.core_frequency(i))
+            total_cycles += clock.ps_to_cycles(s.total_active_ps)
+        instr = self.total_instructions
+        return total_cycles / instr if instr else 0.0
+
+    def l1_miss_rate(self) -> float:
+        """Combined L1 data miss rate."""
+        return self.coherence.l1_miss_rate()
+
+    def memory_stall_fraction(self) -> float:
+        """Fraction of total core-active time spent stalled on memory."""
+        active = sum(s.total_active_ps for s in self.core_stats)
+        stalled = sum(s.stall_mem_ps for s in self.core_stats)
+        return stalled / active if active else 0.0
+
+
+class ChipMultiprocessor:
+    """Builds and runs the Table 1 CMP on one workload."""
+
+    #: Safety valve against scheduler bugs: no sane run needs more steps.
+    MAX_STEPS = 500_000_000
+
+    def __init__(self, config: CMPConfig | None = None) -> None:
+        self.config = config or CMPConfig()
+
+    def run(
+        self,
+        thread_ops: Sequence[Iterable[tuple]],
+        timing: CoreTimingConfig | Sequence[CoreTimingConfig] | None = None,
+        warmup_barriers: int = 0,
+        core_operating_points: Optional[Sequence[Tuple[float, float]]] = None,
+    ) -> SimulationResult:
+        """Simulate the workload's threads to completion.
+
+        ``thread_ops`` supplies one operation stream per thread; the
+        number of threads must not exceed the configured core count
+        (unused cores are shut down, consuming nothing — Section 4.1).
+
+        ``warmup_barriers`` implements the paper's "skip initialization"
+        methodology: when that many barriers have completed, all activity
+        counters are reset and the measured execution time starts there,
+        while cache/coherence state carries over warm.
+
+        ``core_operating_points`` enables **per-core DVFS** (the paper's
+        "beyond the scope" extension): one (frequency, voltage) pair per
+        thread.  The uncore (bus, L2) stays in the chip-wide
+        ``config.frequency_hz`` domain; memory remains wall-clock.
+        """
+        session = ChipSession(
+            self.config,
+            n_threads=len(thread_ops),
+            timing=timing,
+            core_operating_points=core_operating_points,
+        )
+        return session.run_window(thread_ops, warmup_barriers=warmup_barriers)
+
+
+class ChipSession:
+    """Incremental execution: the machine persists across windows.
+
+    Where :meth:`ChipMultiprocessor.run` builds a fresh machine per call,
+    a session keeps caches, coherence state, and local clocks alive so a
+    workload can be fed window by window — the substrate for *online*
+    DVFS governors (:mod:`repro.harness.governor`) that change the
+    operating point between windows with warm caches.
+    """
+
+    #: Safety valve against scheduler bugs (per window).
+    MAX_STEPS = ChipMultiprocessor.MAX_STEPS
+
+    def __init__(
+        self,
+        config: CMPConfig,
+        n_threads: int,
+        timing: CoreTimingConfig | Sequence[CoreTimingConfig] | None = None,
+        core_operating_points: Optional[Sequence[Tuple[float, float]]] = None,
+    ) -> None:
+        if n_threads < 1:
+            raise ConfigurationError("need at least one thread")
+        if n_threads > config.n_cores:
+            raise ConfigurationError(
+                f"{n_threads} threads exceed the {config.n_cores}-core chip"
+            )
+        if core_operating_points is not None:
+            if len(core_operating_points) != n_threads:
+                raise ConfigurationError(
+                    "need one (frequency, voltage) pair per thread"
+                )
+            for f_hz, v in core_operating_points:
+                if f_hz <= 0 or v <= 0:
+                    raise ConfigurationError("operating points must be positive")
+        self.config = config
+        self.n_threads = n_threads
+        if timing is None:
+            timings = [CoreTimingConfig()] * n_threads
+        elif isinstance(timing, CoreTimingConfig):
+            timings = [timing] * n_threads
+        else:
+            timings = list(timing)
+            if len(timings) != n_threads:
+                raise ConfigurationError(
+                    "need one CoreTimingConfig per thread"
+                )
+        self._timings = timings
+        self._clock = ClockDomain(config.frequency_hz)
+        if core_operating_points is None:
+            self._core_operating_points = None
+            core_clocks = [self._clock] * n_threads
+        else:
+            self._core_operating_points = [tuple(p) for p in core_operating_points]
+            core_clocks = [
+                ClockDomain(f_hz) for f_hz, _v in core_operating_points
+            ]
+        self._core_clocks = core_clocks
+        if config.interconnect == "crossbar":
+            self._bus = BankedCrossbar(
+                config.bus_config, self._clock, n_channels=config.crossbar_channels
+            )
+        else:
+            self._bus = SharedBus(config.bus_config, self._clock)
+        self._memory = MainMemory(config.memory_config)
+        self._l1s = [Cache(config.l1_config) for _ in range(n_threads)]
+        self._l2 = Cache(config.l2_config)
+        self._controller = MESIController(
+            self._l1s,
+            self._l2,
+            self._bus,
+            self._memory,
+            self._clock,
+            l1_hit_cycles=config.l1_hit_cycles,
+            l2_hit_cycles=config.l2_hit_cycles,
+            cache_to_cache_cycles=config.cache_to_cache_cycles,
+            core_clocks=core_clocks,
+            prefetch_next_line=config.prefetch_next_line,
+        )
+        self._locks = LockTable()
+        self._cores = [
+            Core(i, iter(()), self._controller, core_clocks[i], timings[i], self._locks)
+            for i in range(n_threads)
+        ]
+
+    def set_operating_point(self, frequency_hz: float, voltage: float) -> None:
+        """Chip-wide DVFS between windows (per-core points are replaced)."""
+        if frequency_hz <= 0 or voltage <= 0:
+            raise ConfigurationError("operating point must be positive")
+        self.config = self.config.with_operating_point(frequency_hz, voltage)
+        self._clock = ClockDomain(frequency_hz)
+        self._controller.set_clock(self._clock)
+        self._core_clocks = [self._clock] * self.n_threads
+        self._core_operating_points = None
+        for core in self._cores:
+            core.set_clock(self._clock)
+
+    def _reset_counters(self) -> None:
+        for core in self._cores:
+            core.stats = CoreStats()
+        for l1 in self._l1s:
+            l1.hits = l1.misses = 0
+            l1.evictions = l1.writebacks = 0
+        l2 = self._l2
+        l2.hits = l2.misses = l2.evictions = l2.writebacks = 0
+        self._controller.stats = CoherenceStats()
+        self._bus.transactions = self._bus.data_transfers = 0
+        self._bus.busy_ps = self._bus.wait_ps = 0
+        self._memory.requests = 0
+        self._locks.acquires = self._locks.contended_acquires = 0
+
+    def run_window(
+        self,
+        thread_ops: Sequence[Iterable[tuple]],
+        warmup_barriers: int = 0,
+    ) -> SimulationResult:
+        """Run one window of operations to completion on the warm machine.
+
+        Cores are aligned to a common start time (as if released from a
+        barrier), counters reset, and the window simulated; caches and
+        reservations persist into the next window.
+        """
+        config = self.config
+        n_threads = self.n_threads
+        if len(thread_ops) != n_threads:
+            raise ConfigurationError(
+                f"window has {len(thread_ops)} streams for {n_threads} threads"
+            )
+        clock = self._clock
+        cores = self._cores
+        core_clocks = self._core_clocks
+
+        window_start = max(core.time_ps for core in cores)
+        for core, ops in zip(cores, thread_ops):
+            core.time_ps = window_start
+            core._ops = iter(ops)
+        self._reset_counters()
+
+        heap: List[tuple] = [(window_start, i) for i in range(n_threads)]
+        heapq.heapify(heap)
+        barrier_waiters: Dict[int, List[int]] = {}
+        barriers_seen = 0
+        finished = 0
+        steps = 0
+        measurement_start_ps = window_start
+        warmup_remaining = warmup_barriers
+
+        while heap:
+            steps += 1
+            if steps > self.MAX_STEPS:
+                raise SimulationError("scheduler exceeded MAX_STEPS (deadlock?)")
+            _, core_id = heapq.heappop(heap)
+            core = cores[core_id]
+            status = core.step()
+            if status == RUNNING:
+                heapq.heappush(heap, (core.time_ps, core_id))
+            elif status == DONE:
+                finished += 1
+            else:  # AT_BARRIER
+                barrier_id = core.pending_barrier
+                waiters = barrier_waiters.setdefault(barrier_id, [])
+                waiters.append(core_id)
+                if len(waiters) == n_threads:
+                    barriers_seen += 1
+                    release = max(cores[w].time_ps for w in waiters)
+                    release += clock.cycles_to_ps(config.barrier_release_cycles)
+                    for waiter_id in waiters:
+                        waiter = cores[waiter_id]
+                        wait_ps = release - waiter.time_ps
+                        wakeup_ps = core_clocks[waiter_id].cycles_to_ps(
+                            config.sleep_wakeup_cycles
+                        )
+                        if config.barrier_sleep and wait_ps > 2 * wakeup_ps:
+                            # Thrifty barrier: sleep until the predictor
+                            # wakes the core just in time; spin the
+                            # final wake-up window.
+                            waiter.stats.sleep_ps += wait_ps - wakeup_ps
+                            waiter.stats.sync_wait_ps += wakeup_ps
+                        else:
+                            waiter.stats.sync_wait_ps += wait_ps
+                        waiter.time_ps = release
+                        heapq.heappush(heap, (release, waiter_id))
+                    del barrier_waiters[barrier_id]
+                    if warmup_remaining and barriers_seen == warmup_remaining:
+                        # End of initialization: reset every activity
+                        # counter; caches stay warm.
+                        measurement_start_ps = release
+                        barriers_seen = 0
+                        warmup_remaining = 0
+                        self._reset_counters()
+
+        if finished != n_threads:
+            stuck = sorted(
+                core_id for waiters in barrier_waiters.values() for core_id in waiters
+            )
+            raise SimulationError(
+                f"deadlock: threads {stuck} never released from a barrier "
+                "(threads must all reach every barrier)"
+            )
+
+        execution_time = (
+            max(core.stats.end_time_ps for core in cores) - measurement_start_ps
+        )
+        if self._core_operating_points is None:
+            operating_points = [
+                (config.frequency_hz, config.voltage) for _ in range(n_threads)
+            ]
+        else:
+            operating_points = list(self._core_operating_points)
+        return SimulationResult(
+            config=config,
+            n_threads=n_threads,
+            execution_time_ps=execution_time,
+            core_stats=[core.stats for core in cores],
+            coherence=self._controller.stats,
+            l1_caches=self._l1s,
+            l2=self._l2,
+            bus=self._bus,
+            memory_requests=self._memory.requests,
+            lock_acquires=self._locks.acquires,
+            lock_contended=self._locks.contended_acquires,
+            barriers=barriers_seen,
+            core_operating_points=operating_points,
+        )

@@ -1,0 +1,218 @@
+"""EV6-like core timing model.
+
+We do not model the 21264's out-of-order machinery structurally; what the
+paper's experiments need from a core is (a) an application-dependent base
+CPI for cache-resident work, (b) realistic stalls on memory misses with a
+bounded amount of latency overlap (the EV6 sustains several outstanding
+misses), and (c) statistical instruction-fetch behaviour.  Those are the
+three knobs :class:`CoreTimingConfig` exposes; everything else (hit
+latencies, coherence, contention) is emergent from the memory system.
+
+A core consumes its thread's operation stream one op per scheduler step
+and advances its local picosecond clock.  Barriers are reported to the
+scheduler (:mod:`repro.sim.cmp`), which parks the core until release;
+critical sections serialise through a shared lock table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import ClockDomain
+from repro.sim.coherence import MESIController
+from repro.sim.ops import OP_BARRIER, OP_COMPUTE, OP_CRITICAL, OP_LOAD, OP_STORE
+
+# Core.step() statuses.
+RUNNING = 0
+AT_BARRIER = 1
+DONE = 2
+
+
+@dataclass(frozen=True)
+class CoreTimingConfig:
+    """Per-application core-timing knobs.
+
+    Parameters
+    ----------
+    base_cpi:
+        Cycles per instruction for cache-resident work on the 4-wide
+        EV6-like core; compute-intensive codes with ILP sit near 0.6,
+        branchy pointer-chasing codes near 1.2.
+    icache_miss_rate:
+        Statistical instruction-fetch miss rate; each miss stalls for an
+        L2 hit.  SPLASH-2 codes have tiny instruction footprints.
+    memory_parallelism:
+        How much data-miss latency the core overlaps (outstanding-miss
+        MLP).  1.0 = fully blocking; the EV6's non-blocking loads justify
+        values up to ~2.
+    lock_overhead_cycles:
+        Pipeline cost of an acquire/release pair (LL/SC sequences).
+    """
+
+    base_cpi: float = 0.8
+    icache_miss_rate: float = 0.001
+    memory_parallelism: float = 1.5
+    lock_overhead_cycles: int = 20
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ConfigurationError("base_cpi must be positive")
+        if not 0.0 <= self.icache_miss_rate < 1.0:
+            raise ConfigurationError("icache_miss_rate must be in [0, 1)")
+        if self.memory_parallelism < 1.0:
+            raise ConfigurationError("memory_parallelism must be >= 1")
+        if self.lock_overhead_cycles < 0:
+            raise ConfigurationError("lock_overhead_cycles must be >= 0")
+
+
+@dataclass
+class CoreStats:
+    """Activity counters for one core (the Wattch inputs)."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    icache_accesses: int = 0
+    critical_sections: int = 0
+    busy_ps: int = 0
+    stall_mem_ps: int = 0
+    sync_wait_ps: int = 0
+    #: Time spent in the thrifty-barrier sleep state (near-zero power).
+    sleep_ps: int = 0
+    end_time_ps: int = 0
+
+    @property
+    def total_active_ps(self) -> int:
+        """Time the core was doing or waiting on work (not parked)."""
+        return self.busy_ps + self.stall_mem_ps
+
+
+class LockTable:
+    """Shared lock state: grant times per lock id, FIFO by request time."""
+
+    def __init__(self) -> None:
+        self._free_at: Dict[int, int] = {}
+        self.contended_acquires = 0
+        self.acquires = 0
+
+    def acquire(self, lock_id: int, now_ps: int) -> int:
+        """Request the lock at ``now_ps``; returns the grant time."""
+        grant = max(now_ps, self._free_at.get(lock_id, 0))
+        self.acquires += 1
+        if grant > now_ps:
+            self.contended_acquires += 1
+        return grant
+
+    def release(self, lock_id: int, at_ps: int) -> None:
+        """Release the lock at ``at_ps``."""
+        self._free_at[lock_id] = at_ps
+
+
+class Core:
+    """One EV6-like core executing a thread's operation stream."""
+
+    def __init__(
+        self,
+        core_id: int,
+        ops: Iterator[tuple],
+        controller: MESIController,
+        clock: ClockDomain,
+        timing: CoreTimingConfig,
+        locks: LockTable,
+    ) -> None:
+        self.core_id = core_id
+        self._ops = iter(ops)
+        self.controller = controller
+        self.clock = clock
+        self.timing = timing
+        self.locks = locks
+        self.time_ps = 0
+        self.stats = CoreStats()
+        #: Barrier index the core is waiting at (valid after AT_BARRIER).
+        self.pending_barrier: Optional[int] = None
+
+    def set_clock(self, clock: ClockDomain) -> None:
+        """DVFS: subsequent cycle costs use the new period."""
+        self.clock = clock
+
+    # -- op execution -------------------------------------------------------
+
+    def _run_burst(self, n_instructions: int) -> None:
+        timing = self.timing
+        cycles = n_instructions * timing.base_cpi
+        # Statistical I-cache misses each stall for an L2 hit.
+        cycles += (
+            n_instructions
+            * timing.icache_miss_rate
+            * self.controller.l2_hit_cycles
+        )
+        duration = self.clock.cycles_to_ps(cycles)
+        self.time_ps += duration
+        self.stats.busy_ps += duration
+        self.stats.instructions += n_instructions
+        self.stats.icache_accesses += n_instructions
+
+    def _run_memory_op(self, byte_address: int, is_write: bool) -> None:
+        now = self.time_ps
+        if is_write:
+            done = self.controller.write(self.core_id, byte_address, now)
+            self.stats.stores += 1
+        else:
+            done = self.controller.read(self.core_id, byte_address, now)
+            self.stats.loads += 1
+        self.stats.instructions += 1
+        self.stats.icache_accesses += 1
+        stall = done - now
+        hit_ps = self.clock.cycles_to_ps(self.controller.l1_hit_cycles)
+        if stall <= hit_ps:
+            # L1 hits are fully pipelined on the EV6; their cost is part
+            # of the application's base CPI.
+            stall = 0
+        else:
+            # The OoO window overlaps part of the miss latency.
+            stall = int((stall - hit_ps) / self.timing.memory_parallelism)
+        self.time_ps += stall
+        self.stats.stall_mem_ps += stall
+
+    def _run_critical(self, lock_id: int, n_instructions: int, address: int) -> None:
+        grant = self.locks.acquire(lock_id, self.time_ps)
+        waited = grant - self.time_ps
+        self.time_ps = grant
+        self.stats.sync_wait_ps += waited
+        overhead = self.clock.cycles_to_ps(self.timing.lock_overhead_cycles)
+        self.time_ps += overhead
+        self.stats.busy_ps += overhead
+        if n_instructions:
+            self._run_burst(n_instructions)
+        # The protected data: a read-modify-write that ping-pongs between
+        # lock holders, generating the coherence traffic real critical
+        # sections do.
+        self._run_memory_op(address, is_write=True)
+        self.locks.release(lock_id, self.time_ps)
+        self.stats.critical_sections += 1
+
+    def step(self) -> int:
+        """Execute one operation; returns RUNNING, AT_BARRIER, or DONE."""
+        op = next(self._ops, None)
+        if op is None:
+            self.stats.end_time_ps = self.time_ps
+            return DONE
+        kind = op[0]
+        if kind == OP_COMPUTE:
+            self._run_burst(op[1])
+            return RUNNING
+        if kind == OP_LOAD:
+            self._run_memory_op(op[1], is_write=False)
+            return RUNNING
+        if kind == OP_STORE:
+            self._run_memory_op(op[1], is_write=True)
+            return RUNNING
+        if kind == OP_BARRIER:
+            self.pending_barrier = op[1]
+            return AT_BARRIER
+        if kind == OP_CRITICAL:
+            self._run_critical(op[1], op[2], op[3])
+            return RUNNING
+        raise ConfigurationError(f"unknown op kind {kind}")

@@ -1,0 +1,23 @@
+"""Operation encoding shared between workload models and the simulator.
+
+Workload threads are lazy streams of tuples; the first element selects
+the kind:
+
+* ``(OP_COMPUTE, n_instructions)`` — a burst of ALU/branch work,
+* ``(OP_LOAD, byte_address)`` — one data-cache read,
+* ``(OP_STORE, byte_address)`` — one data-cache write,
+* ``(OP_BARRIER, barrier_index)`` — global barrier (indices must be
+  issued in the same order by every thread),
+* ``(OP_CRITICAL, lock_id, n_instructions, byte_address)`` — a critical
+  section: acquire the lock, run the burst, read-modify-write the
+  protected address, release.
+
+Plain tuples (rather than dataclasses) keep the per-op cost low — the
+simulator consumes hundreds of thousands of these per run.
+"""
+
+OP_COMPUTE = 0
+OP_LOAD = 1
+OP_STORE = 2
+OP_BARRIER = 3
+OP_CRITICAL = 4

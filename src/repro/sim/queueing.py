@@ -1,0 +1,98 @@
+"""Analytic queueing cross-check for the shared-bus model.
+
+The bus is a serially-reusable resource with (nearly) deterministic
+service time — an **M/D/1** queue when requests arrive approximately at
+random.  Queueing theory then predicts the mean wait from utilisation
+alone (Pollaczek-Khinchine)::
+
+    W = rho * S / (2 * (1 - rho))
+
+with service time ``S`` and utilisation ``rho``.  This module computes
+the prediction from a simulation's measured arrival rate and compares it
+to the simulator's actually-measured grant delays — a self-consistency
+check between the discrete-event machinery and closed-form theory, and a
+quick way to reason about bus saturation without simulating.
+
+Agreement is expected to be loose (arrivals are bursty and correlated,
+cores throttle themselves when stalled — a closed system, not an open
+M/D/1), so the comparison helper reports the ratio rather than asserting
+tightness; the tests pin the regime-level behaviour (low utilisation →
+negligible wait; near saturation → waits blow up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.cmp import SimulationResult
+
+
+@dataclass(frozen=True)
+class BusQueueingAnalysis:
+    """Measured versus predicted bus queueing for one run."""
+
+    utilisation: float
+    service_time_ps: float
+    arrival_rate_per_ps: float
+    measured_mean_wait_ps: float
+    predicted_mean_wait_ps: float
+
+    @property
+    def wait_ratio(self) -> float:
+        """Measured over predicted mean wait (1.0 = perfect M/D/1)."""
+        if self.predicted_mean_wait_ps == 0:
+            return float("inf") if self.measured_mean_wait_ps > 0 else 1.0
+        return self.measured_mean_wait_ps / self.predicted_mean_wait_ps
+
+
+def md1_mean_wait(utilisation: float, service_time: float) -> float:
+    """Pollaczek-Khinchine mean queueing delay for M/D/1."""
+    if not 0.0 <= utilisation < 1.0:
+        raise ConfigurationError("utilisation must be in [0, 1)")
+    if service_time < 0:
+        raise ConfigurationError("service time must be non-negative")
+    return utilisation * service_time / (2.0 * (1.0 - utilisation))
+
+
+def analyse_bus_queueing(result: SimulationResult) -> BusQueueingAnalysis:
+    """Extract the M/D/1 comparison from a finished simulation."""
+    bus = result.bus
+    duration = result.execution_time_ps
+    if duration <= 0:
+        raise ConfigurationError("run has no measured time")
+    if bus.transactions == 0:
+        return BusQueueingAnalysis(
+            utilisation=0.0,
+            service_time_ps=0.0,
+            arrival_rate_per_ps=0.0,
+            measured_mean_wait_ps=0.0,
+            predicted_mean_wait_ps=0.0,
+        )
+    service = bus.busy_ps / bus.transactions
+    rho = min(bus.busy_ps / duration, 0.999)
+    measured_wait = bus.wait_ps / bus.transactions
+    predicted_wait = md1_mean_wait(rho, service)
+    return BusQueueingAnalysis(
+        utilisation=rho,
+        service_time_ps=service,
+        arrival_rate_per_ps=bus.transactions / duration,
+        measured_mean_wait_ps=measured_wait,
+        predicted_mean_wait_ps=predicted_wait,
+    )
+
+
+def saturation_core_count(
+    per_core_request_rate_per_cycle: float,
+    service_cycles: float,
+) -> float:
+    """Analytic estimate of the core count that saturates the bus.
+
+    ``rho = N * lambda * S = 1``: the back-of-envelope the paper's bus
+    choice implies.  E.g. a 5 % L1 miss rate at 0.25 memory ops per
+    instruction and IPC 1 gives lambda = 0.0125 requests/cycle; with a
+    6-cycle service the bus saturates near N = 13.
+    """
+    if per_core_request_rate_per_cycle <= 0 or service_cycles <= 0:
+        raise ConfigurationError("rates must be positive")
+    return 1.0 / (per_core_request_rate_per_cycle * service_cycles)

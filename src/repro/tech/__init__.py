@@ -1,0 +1,46 @@
+"""Process-technology models: node parameters, alpha-power law, leakage.
+
+This subpackage provides the device-level substrate of the paper's
+analytical model (Section 2.1):
+
+* :class:`~repro.tech.technology.TechnologyNode` — per-node constants
+  (nominal Vdd, threshold voltage, nominal frequency, static/dynamic power
+  split) for the two process technologies the paper studies, 130 nm and
+  65 nm, plus the alpha-power-law frequency/voltage relation (Eq. 1).
+* :class:`~repro.tech.technology.VFTable` — a discrete
+  voltage/frequency operating-point table in the style of the Intel
+  Pentium M datasheet the paper's experimental study uses [18].
+* :mod:`~repro.tech.leakage` — a physical (BSIM-like) leakage-current
+  model and the curve-fitted ``H(V, T)`` multiplier of Eq. 3, together with
+  the fitting procedure that stands in for the paper's HSpice validation.
+"""
+
+from repro.tech.technology import (
+    TechnologyNode,
+    VFTable,
+    NODE_130NM,
+    NODE_65NM,
+    NODE_32NM_PROJECTED,
+    technology_by_name,
+)
+from repro.tech.leakage import (
+    LeakageParameters,
+    PhysicalLeakageModel,
+    LeakageFit,
+    fit_leakage_curve,
+    default_leakage_multiplier,
+)
+
+__all__ = [
+    "TechnologyNode",
+    "VFTable",
+    "NODE_130NM",
+    "NODE_65NM",
+    "NODE_32NM_PROJECTED",
+    "technology_by_name",
+    "LeakageParameters",
+    "PhysicalLeakageModel",
+    "LeakageFit",
+    "fit_leakage_curve",
+    "default_leakage_multiplier",
+]

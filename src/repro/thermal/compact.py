@@ -1,0 +1,91 @@
+"""A two-parameter lumped thermal model for the analytical scenarios.
+
+Section 2.2 runs HotSpot inside the analytical iteration just to get an
+operating temperature for the leakage term.  For that purpose the full RC
+network is overkill: what matters is that (a) temperature rises with total
+chip power through the package, (b) it also rises with *local* power
+density (per-active-core power), and (c) it can never fall below ambient.
+
+This model captures exactly that::
+
+    T = T_amb + r_package * P_total + r_local * (P_total / N_active)
+
+The two resistances are set by a single calibration point — the 1-core
+full-throttle run pinned at the 100 C design temperature — split by a
+``spreading_fraction`` that says how much of the 1-core temperature rise
+is local density versus package bottleneck.  The split controls how fast
+temperature falls as work spreads over more cores; the default 0.85
+(density-dominated, as expected of a package sized for the whole 32-core
+chip rather than one hot core) reproduces both the steep-then-flattening
+temperature curves of Figure 3 and the paper's Figure 1 behaviour where
+even a 2-core full-throttle run stays near the design temperature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import celsius_to_kelvin
+
+
+@dataclass
+class CompactThermalModel:
+    """Lumped average-die-temperature model with a 1-core calibration point.
+
+    Use :meth:`calibrate` once with the single-core full-throttle power,
+    then query :meth:`temperature_k` inside the power/thermal fixed-point
+    loop.
+    """
+
+    ambient_celsius: float = 45.0
+    spreading_fraction: float = 0.85
+    _r_package: float = field(default=0.0, init=False, repr=False)
+    _r_local: float = field(default=0.0, init=False, repr=False)
+    _calibrated: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spreading_fraction <= 1.0:
+            raise ConfigurationError("spreading_fraction must be in [0, 1]")
+
+    @property
+    def ambient_k(self) -> float:
+        """Ambient temperature in kelvin."""
+        return celsius_to_kelvin(self.ambient_celsius)
+
+    def calibrate(self, p1_watts: float, t1_celsius: float = 100.0) -> None:
+        """Pin the 1-core full-throttle point at ``t1_celsius``.
+
+        ``p1_watts`` is the total chip power of the single-core
+        configuration at nominal V/f (the paper's design point).
+        """
+        if p1_watts <= 0:
+            raise ConfigurationError("calibration power must be positive")
+        rise = t1_celsius - self.ambient_celsius
+        if rise <= 0:
+            raise ConfigurationError(
+                "design-point temperature must exceed ambient "
+                f"({t1_celsius} C vs {self.ambient_celsius} C)"
+            )
+        total_resistance = rise / p1_watts
+        self._r_local = self.spreading_fraction * total_resistance
+        self._r_package = (1.0 - self.spreading_fraction) * total_resistance
+        self._calibrated = True
+
+    def temperature_k(self, total_power_w: float, n_active: int) -> float:
+        """Average die temperature (kelvin) for a chip power and core count."""
+        if not self._calibrated:
+            raise ConfigurationError("CompactThermalModel.calibrate was never called")
+        if total_power_w < 0:
+            raise ConfigurationError("power must be non-negative")
+        if n_active < 1:
+            raise ConfigurationError("need at least one active core")
+        rise = (
+            self._r_package * total_power_w
+            + self._r_local * total_power_w / n_active
+        )
+        return self.ambient_k + rise
+
+    def temperature_celsius(self, total_power_w: float, n_active: int) -> float:
+        """Average die temperature in degrees Celsius."""
+        return self.temperature_k(total_power_w, n_active) - 273.15

@@ -1,0 +1,215 @@
+"""Rectangular floorplans for thermal modelling.
+
+A floorplan is a set of non-overlapping axis-aligned rectangular blocks
+tiling a die.  Two ready-made layouts are provided:
+
+* :func:`ev6_core_floorplan` — a single Alpha 21264 (EV6)-like core with
+  the usual microarchitectural blocks; this mirrors HotSpot's default EV6
+  floorplan that the paper's analytical study uses (Section 2.2).
+* :func:`cmp_floorplan` — the paper's 16-way CMP die (Table 1):
+  a grid of cores around a large shared L2 block, 15.6 mm x 15.6 mm.
+
+All dimensions are in metres; areas in m^2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Block:
+    """One rectangular floorplan block.
+
+    ``x``/``y`` locate the lower-left corner; ``width``/``height`` are the
+    side lengths.  All in metres.
+    """
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError(f"block {self.name}: non-positive size")
+
+    @property
+    def area(self) -> float:
+        """Block area in m^2."""
+        return self.width * self.height
+
+    @property
+    def x2(self) -> float:
+        """Right edge."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        """Top edge."""
+        return self.y + self.height
+
+    def shared_edge_length(self, other: "Block") -> float:
+        """Length of the boundary shared with ``other`` (0 if not adjacent).
+
+        Two blocks are laterally adjacent when they touch along a vertical
+        or horizontal edge with positive overlap; the overlap length sets
+        the lateral thermal conductance between them.
+        """
+        tol = 1e-9
+        # Vertical shared edge (side by side).
+        if abs(self.x2 - other.x) < tol or abs(other.x2 - self.x) < tol:
+            overlap = min(self.y2, other.y2) - max(self.y, other.y)
+            if overlap > tol:
+                return overlap
+        # Horizontal shared edge (stacked).
+        if abs(self.y2 - other.y) < tol or abs(other.y2 - self.y) < tol:
+            overlap = min(self.x2, other.x2) - max(self.x, other.x)
+            if overlap > tol:
+                return overlap
+        return 0.0
+
+    def center(self) -> Tuple[float, float]:
+        """Geometric centre of the block."""
+        return (self.x + 0.5 * self.width, self.y + 0.5 * self.height)
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A collection of named blocks tiling a die."""
+
+    blocks: Tuple[Block, ...]
+
+    def __post_init__(self) -> None:
+        names = [b.name for b in self.blocks]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate block names in floorplan")
+        if not self.blocks:
+            raise ConfigurationError("floorplan must contain at least one block")
+
+    @property
+    def names(self) -> List[str]:
+        """Block names in definition order."""
+        return [b.name for b in self.blocks]
+
+    @property
+    def total_area(self) -> float:
+        """Sum of block areas (m^2)."""
+        return sum(b.area for b in self.blocks)
+
+    def block(self, name: str) -> Block:
+        """Look up a block by name."""
+        for b in self.blocks:
+            if b.name == name:
+                return b
+        raise ConfigurationError(f"no block named {name!r}")
+
+    def adjacency(self) -> Dict[Tuple[str, str], float]:
+        """Map of ``(name_a, name_b) -> shared edge length`` for adjacent pairs.
+
+        Each unordered pair appears once, with ``name_a < name_b``.
+        """
+        edges: Dict[Tuple[str, str], float] = {}
+        for i, a in enumerate(self.blocks):
+            for b in self.blocks[i + 1 :]:
+                length = a.shared_edge_length(b)
+                if length > 0:
+                    key = (a.name, b.name) if a.name < b.name else (b.name, a.name)
+                    edges[key] = length
+        return edges
+
+
+#: Relative areas of EV6-like core blocks (fractions of the core area).
+#: Derived from the published EV6 die photo proportions used by HotSpot.
+_EV6_BLOCK_FRACTIONS: Tuple[Tuple[str, float], ...] = (
+    ("icache", 0.14),
+    ("dcache", 0.14),
+    ("bpred", 0.05),
+    ("dtb", 0.04),
+    ("fpadd", 0.06),
+    ("fpmul", 0.06),
+    ("fpreg", 0.04),
+    ("fpmap", 0.02),
+    ("intmap", 0.03),
+    ("intq", 0.04),
+    ("intreg", 0.05),
+    ("intexec", 0.12),
+    ("fpq", 0.03),
+    ("ldstq", 0.05),
+    ("itb", 0.03),
+    ("lsu", 0.10),
+)
+
+
+def ev6_core_floorplan(core_area: float = 12.0e-6) -> Floorplan:
+    """An EV6-like single-core floorplan.
+
+    Blocks are laid out in a 4x4 grid whose cells are scaled so the
+    fractional areas above are respected along each row.  ``core_area`` is
+    the total core area in m^2 (default 12 mm^2, an EV6 core scaled to
+    65 nm per the paper's CACTI-derived 244.5 mm^2 / 16-core budget).
+    """
+    if core_area <= 0:
+        raise ConfigurationError("core_area must be positive")
+    side = math.sqrt(core_area)
+    rows = [
+        _EV6_BLOCK_FRACTIONS[0:4],
+        _EV6_BLOCK_FRACTIONS[4:8],
+        _EV6_BLOCK_FRACTIONS[8:12],
+        _EV6_BLOCK_FRACTIONS[12:16],
+    ]
+    blocks: List[Block] = []
+    y = 0.0
+    for row in rows:
+        row_fraction = sum(frac for _, frac in row)
+        row_height = side * row_fraction
+        x = 0.0
+        for name, frac in row:
+            width = side * frac / row_fraction
+            blocks.append(Block(name=name, x=x, y=y, width=width, height=row_height))
+            x += width
+        y += row_height
+    return Floorplan(blocks=tuple(blocks))
+
+
+def cmp_floorplan(
+    n_cores: int = 16,
+    die_side: float = 15.6e-3,
+    l2_fraction: float = 0.22,
+) -> Floorplan:
+    """The paper's CMP die: a row-banked grid of cores plus a shared L2.
+
+    The L2 occupies a horizontal slab of ``l2_fraction`` of the die at the
+    bottom (4 MB of SRAM is a large, cool block — Section 3.3 excludes it
+    from density/temperature averages); the cores tile the rest in the most
+    square grid available.  Core blocks are named ``core0..core{n-1}``, the
+    cache block ``l2``.
+    """
+    if n_cores < 1:
+        raise ConfigurationError("need at least one core")
+    l2_height = die_side * l2_fraction
+    core_region_height = die_side - l2_height
+    cols = int(math.ceil(math.sqrt(n_cores)))
+    rows = int(math.ceil(n_cores / cols))
+    core_w = die_side / cols
+    core_h = core_region_height / rows
+    blocks: List[Block] = [
+        Block(name="l2", x=0.0, y=0.0, width=die_side, height=l2_height)
+    ]
+    for idx in range(n_cores):
+        r, c = divmod(idx, cols)
+        blocks.append(
+            Block(
+                name=f"core{idx}",
+                x=c * core_w,
+                y=l2_height + r * core_h,
+                width=core_w,
+                height=core_h,
+            )
+        )
+    return Floorplan(blocks=tuple(blocks))

@@ -1,0 +1,59 @@
+"""Physical constants and small unit-conversion helpers.
+
+Everything in the library works in SI base units internally:
+
+* voltage in volts, frequency in hertz, power in watts, energy in joules,
+* time in seconds, temperature in kelvin, length in metres, area in m^2.
+
+The paper quotes temperatures in degrees Celsius (ambient 45 C, max die
+temperature 100 C, "room temperature" 25 C); the helpers here convert at
+API boundaries so the core math never mixes scales.
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant (J/K).
+BOLTZMANN: float = 1.380649e-23
+
+#: Elementary charge (C).
+ELECTRON_CHARGE: float = 1.602176634e-19
+
+#: 0 degrees Celsius in kelvin.
+ZERO_CELSIUS_IN_KELVIN: float = 273.15
+
+#: Room temperature used as the leakage reference point ("Tstd", 25 C).
+ROOM_TEMPERATURE_K: float = 25.0 + ZERO_CELSIUS_IN_KELVIN
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+def celsius_to_kelvin(temperature_c: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    return temperature_c + ZERO_CELSIUS_IN_KELVIN
+
+
+def kelvin_to_celsius(temperature_k: float) -> float:
+    """Convert a temperature from kelvin to degrees Celsius."""
+    return temperature_k - ZERO_CELSIUS_IN_KELVIN
+
+
+def thermal_voltage(temperature_k: float) -> float:
+    """Thermal voltage kT/q (volts) at the given temperature."""
+    return BOLTZMANN * temperature_k / ELECTRON_CHARGE
+
+
+def mm2_to_m2(area_mm2: float) -> float:
+    """Convert an area from square millimetres to square metres."""
+    return area_mm2 * 1e-6
+
+
+def m2_to_mm2(area_m2: float) -> float:
+    """Convert an area from square metres to square millimetres."""
+    return area_m2 * 1e6

@@ -1,0 +1,178 @@
+"""Automatic workload calibration against a behavioural target.
+
+The twelve shipped SPLASH-2 models were tuned so the simulator
+reproduces each application's published signature.  Anyone adding a new
+workload faces the same chore; this module automates it:
+
+* :func:`measure_signature` — run a spec on the Table 1 machine and
+  report the three headline metrics: nominal efficiency at the high
+  core count, memory-stall fraction and L1 miss rate at one core;
+* :func:`calibrate_workload` — coordinate descent over the spec's
+  behavioural knobs (hot-set fraction, locality, imbalance, serial
+  fraction) to minimise the weighted squared distance to a
+  :class:`SignatureTarget`.
+
+Each probe is two simulations, so calibration is minutes of work at
+realistic scales; the knobs are monotone enough that a handful of
+shrinking-step passes converges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.cmp import ChipMultiprocessor, CMPConfig
+from repro.workloads.base import WorkloadModel, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The three headline metrics of one workload on the Table 1 machine."""
+
+    eps_high: float
+    stall1: float
+    l1_miss1: float
+
+
+@dataclass(frozen=True)
+class SignatureTarget:
+    """Desired signature; ``None`` fields are unconstrained."""
+
+    eps_high: Optional[float] = None
+    stall1: Optional[float] = None
+    l1_miss1: Optional[float] = None
+    #: Relative weights of the three error terms.
+    weights: Tuple[float, float, float] = (1.0, 1.0, 1.0)
+
+    def loss(self, signature: Signature) -> float:
+        """Weighted squared relative error against this target."""
+        total = 0.0
+        pairs = (
+            (self.eps_high, signature.eps_high, self.weights[0]),
+            (self.stall1, signature.stall1, self.weights[1]),
+            (self.l1_miss1, signature.l1_miss1, self.weights[2]),
+        )
+        for target, measured, weight in pairs:
+            if target is None:
+                continue
+            scale = max(abs(target), 1e-3)
+            total += weight * ((measured - target) / scale) ** 2
+        return total
+
+
+def measure_signature(
+    spec: WorkloadSpec,
+    n_high: int = 16,
+    scale: float = 0.25,
+    config: Optional[CMPConfig] = None,
+) -> Signature:
+    """Measure a spec's signature (deterministic)."""
+    model = WorkloadModel(spec.scaled(scale))
+    config = config or CMPConfig()
+    times = {}
+    baseline = None
+    for n in (1, n_high):
+        chip = ChipMultiprocessor(config)
+        result = chip.run(
+            [model.thread_ops(t, n) for t in range(n)],
+            model.core_timing(),
+            warmup_barriers=model.warmup_barriers,
+        )
+        times[n] = result.execution_time_ps
+        if n == 1:
+            baseline = result
+    return Signature(
+        eps_high=times[1] / (n_high * times[n_high]),
+        stall1=baseline.memory_stall_fraction(),
+        l1_miss1=baseline.l1_miss_rate(),
+    )
+
+
+#: knob name -> (min, max, initial step)
+_KNOBS: Dict[str, Tuple[float, float, float]] = {
+    "hot_fraction": (0.0, 0.97, 0.10),
+    "locality": (0.30, 0.99, 0.05),
+    "imbalance": (0.0, 0.6, 0.08),
+    "serial_fraction": (0.0, 0.3, 0.02),
+}
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one calibration run."""
+
+    spec: WorkloadSpec
+    signature: Signature
+    loss: float
+    evaluations: int
+    history: Tuple[float, ...]
+
+
+def calibrate_workload(
+    spec: WorkloadSpec,
+    target: SignatureTarget,
+    iterations: int = 4,
+    n_high: int = 16,
+    scale: float = 0.15,
+    knobs: Optional[List[str]] = None,
+) -> CalibrationResult:
+    """Coordinate descent on the behavioural knobs toward ``target``.
+
+    Returns the best spec found together with its measured signature and
+    the loss trajectory.  Deterministic; each iteration probes each knob
+    one step up and down and keeps the best move, halving the step when
+    a full pass makes no progress.
+    """
+    if iterations < 1:
+        raise ConfigurationError("need at least one iteration")
+    knob_names = knobs or list(_KNOBS)
+    for name in knob_names:
+        if name not in _KNOBS:
+            raise ConfigurationError(f"unknown calibration knob {name!r}")
+
+    evaluations = 0
+
+    def evaluate(candidate: WorkloadSpec) -> Tuple[float, Signature]:
+        nonlocal evaluations
+        evaluations += 1
+        signature = measure_signature(candidate, n_high=n_high, scale=scale)
+        return target.loss(signature), signature
+
+    steps = {name: _KNOBS[name][2] for name in knob_names}
+    best_spec = spec
+    best_loss, best_signature = evaluate(spec)
+    history = [best_loss]
+
+    for _ in range(iterations):
+        improved = False
+        for name in knob_names:
+            lo, hi, _ = _KNOBS[name]
+            current = getattr(best_spec, name)
+            for direction in (+1, -1):
+                candidate_value = min(hi, max(lo, current + direction * steps[name]))
+                if math.isclose(candidate_value, current):
+                    continue
+                candidate = replace(best_spec, **{name: candidate_value})
+                loss, signature = evaluate(candidate)
+                if loss < best_loss:
+                    best_spec, best_loss, best_signature = (
+                        candidate,
+                        loss,
+                        signature,
+                    )
+                    improved = True
+                    break  # take the improving direction, move on
+        history.append(best_loss)
+        if not improved:
+            steps = {name: step / 2 for name, step in steps.items()}
+
+    return CalibrationResult(
+        spec=best_spec,
+        signature=best_signature,
+        loss=best_loss,
+        evaluations=evaluations,
+        history=tuple(history),
+    )

@@ -1,0 +1,297 @@
+"""The twelve SPLASH-2 application models (Table 2).
+
+Each spec encodes one application's published behavioural signature at
+the paper's problem sizes.  The salient targets, taken from the SPLASH-2
+characterisation [41] and the paper's own observations:
+
+* **FMM, Water-Sp, Water-Nsq, Barnes** scale well (eps_n ~ 0.8-0.9 at 16
+  cores); FMM is the most compute-intensive/power-hungry (Section 4.2).
+* **Cholesky, Volrend, Raytrace, Radiosity** have limited scalability —
+  serial sections, task imbalance, and lock contention.
+* **Ocean, FFT, Radix** are memory-bound: footprints beyond the L2 and
+  scatter/transpose access patterns.  Radix is the power-thrifty extreme
+  (Section 4.2: stalls keep it far from the power budget), yet its
+  *nominal* efficiency is good.
+* **LU** combines excellent blocked locality (high power, with FMM the
+  biggest temperature drops in Figure 3) with pivot-induced imbalance at
+  high core counts.
+
+``total_instructions`` values are scaled-down synthetic run lengths —
+large enough for cache behaviour to reach steady state, small enough
+that the full Figure 3 pipeline runs in minutes of host time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import WorkloadModel, WorkloadSpec
+
+KB = 1024
+MB = 1024 * 1024
+
+_SPECS = (
+    WorkloadSpec(
+        name="Barnes",
+        problem_size="16K particles",
+        total_instructions=400_000,
+        mem_ratio=0.24,
+        write_fraction=0.25,
+        total_private_bytes=800 * KB,
+        shared_bytes=512 * KB,
+        shared_fraction=0.15,
+        locality=0.96,
+        hot_fraction=0.8,
+        sharing_pattern="uniform",
+        n_phases=8,
+        serial_fraction=0.010,
+        imbalance=0.06,
+        critical_sections_per_phase=8,
+        n_locks=32,
+        base_cpi=0.80,
+        memory_parallelism=2.0,
+        seed=101,
+    ),
+    WorkloadSpec(
+        name="Cholesky",
+        problem_size="tk15.O",
+        total_instructions=400_000,
+        mem_ratio=0.28,
+        write_fraction=0.30,
+        total_private_bytes=1 * MB,
+        shared_bytes=1 * MB,
+        shared_fraction=0.22,
+        locality=0.96,
+        hot_fraction=0.76,
+        sharing_pattern="uniform",
+        n_phases=10,
+        serial_fraction=0.060,
+        imbalance=0.25,
+        critical_sections_per_phase=12,
+        n_locks=8,
+        base_cpi=0.70,
+        memory_parallelism=2.0,
+        seed=102,
+    ),
+    WorkloadSpec(
+        name="FFT",
+        problem_size="64K points",
+        total_instructions=400_000,
+        mem_ratio=0.30,
+        write_fraction=0.35,
+        total_private_bytes=1 * MB,
+        shared_bytes=2 * MB,
+        shared_fraction=0.4,
+        locality=0.92,
+        hot_fraction=0.62,
+        sharing_pattern="uniform",
+        n_phases=6,
+        serial_fraction=0.010,
+        imbalance=0.02,
+        base_cpi=0.75,
+        memory_parallelism=2.2,
+        power_of_two_only=True,
+        seed=103,
+    ),
+    WorkloadSpec(
+        name="FMM",
+        problem_size="16K particles",
+        total_instructions=400_000,
+        mem_ratio=0.12,
+        write_fraction=0.20,
+        total_private_bytes=600 * KB,
+        shared_bytes=512 * KB,
+        shared_fraction=0.12,
+        locality=0.98,
+        hot_fraction=0.94,
+        sharing_pattern="uniform",
+        n_phases=8,
+        serial_fraction=0.008,
+        imbalance=0.06,
+        critical_sections_per_phase=4,
+        n_locks=32,
+        base_cpi=0.50,
+        memory_parallelism=2.4,
+        seed=104,
+    ),
+    WorkloadSpec(
+        name="LU",
+        problem_size="512x512 matrix, 16x16 blocks",
+        total_instructions=400_000,
+        mem_ratio=0.30,
+        write_fraction=0.30,
+        total_private_bytes=2 * MB,
+        shared_bytes=512 * KB,
+        shared_fraction=0.1,
+        locality=0.975,
+        hot_fraction=0.86,
+        sharing_pattern="blocked",
+        n_phases=12,
+        serial_fraction=0.015,
+        imbalance=0.16,
+        base_cpi=0.55,
+        memory_parallelism=2.2,
+        seed=105,
+    ),
+    WorkloadSpec(
+        name="Ocean",
+        problem_size="514x514 ocean",
+        total_instructions=400_000,
+        mem_ratio=0.35,
+        write_fraction=0.30,
+        total_private_bytes=3 * MB,
+        shared_bytes=3 * MB,
+        shared_fraction=0.22,
+        locality=0.92,
+        hot_fraction=0.62,
+        sharing_pattern="blocked",
+        n_phases=10,
+        serial_fraction=0.015,
+        imbalance=0.05,
+        base_cpi=0.90,
+        memory_parallelism=2.2,
+        power_of_two_only=True,
+        seed=106,
+    ),
+    WorkloadSpec(
+        name="Radiosity",
+        problem_size="room -ae 5000.0 -en 0.05 -bf 0.1",
+        total_instructions=400_000,
+        mem_ratio=0.25,
+        write_fraction=0.30,
+        total_private_bytes=800 * KB,
+        shared_bytes=1 * MB,
+        shared_fraction=0.2,
+        locality=0.95,
+        hot_fraction=0.76,
+        sharing_pattern="uniform",
+        n_phases=8,
+        serial_fraction=0.030,
+        imbalance=0.15,
+        critical_sections_per_phase=30,
+        n_locks=8,
+        base_cpi=0.80,
+        memory_parallelism=2.0,
+        seed=107,
+    ),
+    WorkloadSpec(
+        name="Radix",
+        problem_size="1M integers, radix 1024",
+        total_instructions=400_000,
+        mem_ratio=0.25,
+        write_fraction=0.45,
+        total_private_bytes=4 * MB,
+        shared_bytes=4 * MB,
+        shared_fraction=0.5,
+        locality=0.8,
+        hot_fraction=0.3,
+        sharing_pattern="uniform",
+        n_phases=6,
+        serial_fraction=0.008,
+        imbalance=0.03,
+        base_cpi=0.75,
+        memory_parallelism=2.4,
+        power_of_two_only=True,
+        seed=108,
+    ),
+    WorkloadSpec(
+        name="Raytrace",
+        problem_size="car",
+        total_instructions=400_000,
+        mem_ratio=0.25,
+        write_fraction=0.20,
+        total_private_bytes=1 * MB,
+        shared_bytes=1 * MB,
+        shared_fraction=0.15,
+        locality=0.95,
+        hot_fraction=0.76,
+        sharing_pattern="uniform",
+        n_phases=8,
+        serial_fraction=0.020,
+        imbalance=0.20,
+        critical_sections_per_phase=20,
+        n_locks=4,
+        base_cpi=0.85,
+        memory_parallelism=2.0,
+        seed=109,
+    ),
+    WorkloadSpec(
+        name="Volrend",
+        problem_size="head",
+        total_instructions=400_000,
+        mem_ratio=0.22,
+        write_fraction=0.20,
+        total_private_bytes=800 * KB,
+        shared_bytes=1 * MB,
+        shared_fraction=0.15,
+        locality=0.96,
+        hot_fraction=0.8,
+        sharing_pattern="uniform",
+        n_phases=10,
+        serial_fraction=0.040,
+        imbalance=0.30,
+        critical_sections_per_phase=15,
+        n_locks=8,
+        base_cpi=0.80,
+        memory_parallelism=2.0,
+        seed=110,
+    ),
+    WorkloadSpec(
+        name="Water-Nsq",
+        problem_size="512 molecules",
+        total_instructions=400_000,
+        mem_ratio=0.18,
+        write_fraction=0.25,
+        total_private_bytes=300 * KB,
+        shared_bytes=256 * KB,
+        shared_fraction=0.12,
+        locality=0.97,
+        hot_fraction=0.9,
+        sharing_pattern="uniform",
+        n_phases=8,
+        serial_fraction=0.010,
+        imbalance=0.05,
+        critical_sections_per_phase=4,
+        n_locks=64,
+        base_cpi=0.65,
+        memory_parallelism=2.2,
+        seed=111,
+    ),
+    WorkloadSpec(
+        name="Water-Sp",
+        problem_size="512 molecules",
+        total_instructions=400_000,
+        mem_ratio=0.16,
+        write_fraction=0.25,
+        total_private_bytes=300 * KB,
+        shared_bytes=256 * KB,
+        shared_fraction=0.08,
+        locality=0.975,
+        hot_fraction=0.92,
+        sharing_pattern="blocked",
+        n_phases=8,
+        serial_fraction=0.005,
+        imbalance=0.03,
+        critical_sections_per_phase=2,
+        n_locks=64,
+        base_cpi=0.65,
+        memory_parallelism=2.2,
+        seed=112,
+    ),
+)
+
+#: The suite, in the paper's Table 2 order.
+SPLASH2: List[WorkloadModel] = [WorkloadModel(spec) for spec in _SPECS]
+
+_BY_NAME: Dict[str, WorkloadModel] = {model.name: model for model in SPLASH2}
+
+
+def workload_by_name(name: str) -> WorkloadModel:
+    """Look up one of the twelve applications by (case-insensitive) name."""
+    for key, model in _BY_NAME.items():
+        if key.lower() == name.lower():
+            return model
+    raise ConfigurationError(
+        f"unknown workload {name!r}; known: {sorted(_BY_NAME)}"
+    )

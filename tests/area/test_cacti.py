@@ -1,0 +1,98 @@
+"""Tests for the CACTI-style area/time/energy model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.area import CacheGeometry, CactiModel, CMPAreaModel
+from repro.area.cacti import L1_GEOMETRY, L2_GEOMETRY
+from repro.errors import ConfigurationError
+
+
+class TestCacheGeometry:
+    def test_table1_geometries(self):
+        assert L1_GEOMETRY.capacity_bytes == 64 * 1024
+        assert L1_GEOMETRY.line_bytes == 64
+        assert L1_GEOMETRY.associativity == 2
+        assert L2_GEOMETRY.capacity_bytes == 4 * 1024 * 1024
+        assert L2_GEOMETRY.associativity == 8
+
+    def test_n_sets(self):
+        assert L1_GEOMETRY.n_sets == 512
+        assert L2_GEOMETRY.n_sets == 4096
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(capacity_bytes=0, line_bytes=64, associativity=2)
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(capacity_bytes=1000, line_bytes=64, associativity=2)
+
+
+class TestCactiModel:
+    def test_table1_latencies_at_65nm(self):
+        # Table 1: L1 2-cycle RT, L2 12-cycle RT at 3.2 GHz.
+        model = CactiModel(65.0)
+        assert model.access_cycles(L1_GEOMETRY, 3.2e9) == 2
+        assert model.access_cycles(L2_GEOMETRY, 3.2e9) == 12
+
+    def test_latency_scales_with_feature_size(self):
+        slow = CactiModel(130.0)
+        fast = CactiModel(65.0)
+        assert slow.access_time_ns(L1_GEOMETRY) == pytest.approx(
+            2.0 * fast.access_time_ns(L1_GEOMETRY)
+        )
+
+    def test_bigger_cache_is_slower(self):
+        model = CactiModel(65.0)
+        assert model.access_time_ns(L2_GEOMETRY) > model.access_time_ns(L1_GEOMETRY)
+
+    def test_area_linear_in_capacity(self):
+        model = CactiModel(65.0)
+        small = CacheGeometry(64 * 1024, 64, 2)
+        big = CacheGeometry(256 * 1024, 64, 2)
+        assert model.area_mm2(big) == pytest.approx(4 * model.area_mm2(small))
+
+    def test_energy_scales_with_voltage_squared(self):
+        model = CactiModel(65.0)
+        e_full = model.energy_per_access_nj(L1_GEOMETRY, 1.1)
+        e_half = model.energy_per_access_nj(L1_GEOMETRY, 0.55)
+        assert e_half == pytest.approx(e_full / 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CactiModel(-1.0)
+        with pytest.raises(ConfigurationError):
+            CactiModel(65.0).access_cycles(L1_GEOMETRY, 0.0)
+        with pytest.raises(ConfigurationError):
+            CactiModel(65.0).energy_per_access_nj(L1_GEOMETRY, 0.0)
+
+    @given(st.floats(min_value=32.0, max_value=350.0))
+    def test_positive_outputs(self, feature_nm):
+        model = CactiModel(feature_nm)
+        assert model.area_mm2(L1_GEOMETRY) > 0
+        assert model.access_time_ns(L1_GEOMETRY) > 0
+
+
+class TestCMPAreaModel:
+    def test_paper_die_area(self):
+        # Table 1: 244.5 mm^2 (15.6 mm x 15.6 mm) for the 16-way 65 nm CMP.
+        model = CMPAreaModel()
+        assert model.die_area_mm2() == pytest.approx(244.5, rel=0.01)
+        assert model.die_side_mm() == pytest.approx(15.6, rel=0.01)
+
+    def test_area_grows_with_cores(self):
+        assert CMPAreaModel(n_cores=32).die_area_mm2() > CMPAreaModel(
+            n_cores=16
+        ).die_area_mm2()
+
+    def test_core_area_scaled_from_ev6(self):
+        model = CMPAreaModel()
+        # A 350 nm -> 65 nm quadratic shrink of a ~209 mm^2 die: ~7.2 mm^2.
+        assert 5.0 < model.core_area_mm2() < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CMPAreaModel(n_cores=0)
+        with pytest.raises(ConfigurationError):
+            CMPAreaModel(overhead_fraction=1.0)

@@ -1,0 +1,131 @@
+"""Property-based tests of the analytical model's structural laws.
+
+Hypothesis sweeps the model over random (N, eps, technology-parameter)
+combinations and checks the relations that must hold for *any* sane
+parameterisation — the guarantees downstream users lean on.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core import (
+    AnalyticalChipModel,
+    PerformanceOptimizationScenario,
+    PowerOptimizationScenario,
+)
+from repro.core.scenario3 import EnergyOptimizationScenario
+from repro.errors import ConvergenceError, InfeasibleOperatingPoint
+from repro.tech import NODE_130NM, NODE_65NM
+
+NODES = {"130nm": NODE_130NM, "65nm": NODE_65NM}
+
+# Module-level caches: the chip models are immutable after construction.
+_CHIPS = {name: AnalyticalChipModel(node) for name, node in NODES.items()}
+_S1 = {name: PowerOptimizationScenario(chip) for name, chip in _CHIPS.items()}
+_S2 = {name: PerformanceOptimizationScenario(chip) for name, chip in _CHIPS.items()}
+
+
+@given(
+    tech=st.sampled_from(sorted(NODES)),
+    n=st.integers(min_value=1, max_value=32),
+    eps=st.floats(min_value=0.05, max_value=1.5),
+)
+@settings(max_examples=80, deadline=None)
+def test_scenario1_feasibility_boundary(tech, n, eps):
+    """Eq. 7 is feasible exactly when N * eps >= 1."""
+    scenario = _S1[tech]
+    if n * eps < 1.0 - 1e-9:
+        with pytest.raises(InfeasibleOperatingPoint):
+            scenario.solve(n, eps)
+        return
+    try:
+        point = scenario.solve(n, eps)
+    except ConvergenceError:
+        return  # thermal runaway: many cores near full throttle
+    chip = _CHIPS[tech]
+    tech_node = chip.tech
+    assert tech_node.v_min - 1e-9 <= point.voltage <= tech_node.vdd_nominal + 1e-9
+    assert 0 < point.frequency_hz <= tech_node.f_nominal * (1 + 1e-9)
+    assert point.power.total_w > 0
+    assert point.temperature_celsius >= chip.ambient_celsius - 1e-6
+
+
+@given(
+    tech=st.sampled_from(sorted(NODES)),
+    n=st.sampled_from([2, 4, 8, 16, 32]),
+    eps_lo=st.floats(min_value=0.3, max_value=0.9),
+    delta=st.floats(min_value=0.01, max_value=0.3),
+)
+@settings(max_examples=40, deadline=None)
+def test_scenario1_power_monotone_in_efficiency(tech, n, eps_lo, delta):
+    """More efficiency never costs power at iso-performance."""
+    eps_hi = min(1.5, eps_lo + delta)
+    assume(n * eps_lo >= 1.0)
+    scenario = _S1[tech]
+    try:
+        p_lo = scenario.solve(n, eps_lo).normalized_power
+        p_hi = scenario.solve(n, eps_hi).normalized_power
+    except ConvergenceError:
+        return
+    assert p_hi <= p_lo + 1e-9
+
+
+@given(
+    tech=st.sampled_from(sorted(NODES)),
+    n=st.integers(min_value=1, max_value=32),
+    eps=st.floats(min_value=0.3, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_scenario2_speedup_bounds(tech, n, eps):
+    """Budget-legal speedup is bounded by the unconstrained N * eps."""
+    scenario = _S2[tech]
+    try:
+        point = scenario.solve(n, eps)
+    except InfeasibleOperatingPoint:
+        return
+    assert 0 < point.speedup <= n * eps * (1 + 1e-9)
+    assert point.power.total_w <= scenario.budget_w * (1 + 1e-4)
+    assert point.regime in ("nominal", "voltage-scaling", "frequency-only")
+
+
+@given(
+    tech=st.sampled_from(sorted(NODES)),
+    n=st.sampled_from([1, 2, 4, 8, 16]),
+    budget_scale=st.floats(min_value=0.5, max_value=3.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_scenario2_speedup_monotone_in_budget(tech, n, budget_scale):
+    """A bigger budget never slows you down."""
+    chip = _CHIPS[tech]
+    base = _S2[tech]
+    richer = PerformanceOptimizationScenario(
+        chip, budget_w=base.budget_w * budget_scale
+    )
+    try:
+        s_base = base.solve(n, 1.0).speedup
+        s_richer = richer.solve(n, 1.0).speedup
+    except InfeasibleOperatingPoint:
+        return
+    if budget_scale >= 1.0:
+        assert s_richer >= s_base - 1e-9
+    else:
+        assert s_richer <= s_base + 1e-9
+
+
+@given(
+    tech=st.sampled_from(sorted(NODES)),
+    n=st.sampled_from([1, 2, 4, 8]),
+    eps=st.floats(min_value=0.5, max_value=1.0),
+    weight=st.floats(min_value=0.0, max_value=2.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_scenario3_never_worse_than_nominal(tech, n, eps, weight):
+    """The energy(-delay) optimum beats or matches racing at nominal."""
+    chip = _CHIPS[tech]
+    scenario = EnergyOptimizationScenario(chip, delay_weight=weight)
+    point = scenario.solve(n, eps)
+    try:
+        nominal_obj, *_ = scenario._evaluate(n, eps, chip.tech.f_nominal)
+    except ConvergenceError:
+        return  # racing N cores at nominal has no thermal equilibrium
+    assert point.relative_objective <= nominal_obj * (1 + 1e-6)

@@ -1,0 +1,69 @@
+"""Tests for the asymmetric-CMP extension (Grochowski discussion)."""
+
+import pytest
+
+from repro.core import AnalyticalChipModel
+from repro.core.asymmetric import AsymmetricCMPModel
+from repro.errors import ConfigurationError
+from repro.tech import NODE_130NM, NODE_65NM
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AsymmetricCMPModel(AnalyticalChipModel(NODE_130NM))
+
+
+class TestConstruction:
+    def test_validation(self):
+        chip = AnalyticalChipModel(NODE_130NM)
+        with pytest.raises(ConfigurationError):
+            AsymmetricCMPModel(chip, big_speed=0.5)
+        with pytest.raises(ConfigurationError):
+            AsymmetricCMPModel(chip, big_speed=3.0, big_power=2.0)
+
+
+class TestSolve:
+    def test_asymmetric_beats_symmetric_on_serial_codes(self, model):
+        point = model.solve(16, serial_fraction=0.2)
+        assert point.total_speedup > point.symmetric_speedup
+        assert point.advantage > 1.05
+
+    def test_no_advantage_without_serial_work(self, model):
+        point = model.solve(16, serial_fraction=0.0)
+        assert point.total_speedup == pytest.approx(point.symmetric_speedup)
+        assert point.advantage == pytest.approx(1.0)
+
+    def test_pure_serial_workload(self, model):
+        point = model.solve(16, serial_fraction=1.0)
+        # All time on the big core: speedup is its budget-legal speed.
+        assert point.total_speedup == pytest.approx(point.serial_speed)
+        assert point.symmetric_speedup == pytest.approx(1.0)
+
+    def test_budget_throttles_the_big_core(self, model):
+        point = model.solve(8, serial_fraction=0.3)
+        # A 4x-power core under a 1x budget cannot run at full speed...
+        assert point.serial_speed < model.big_speed
+        # ...but still beats a small core.
+        assert point.serial_speed > 1.0
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.solve(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            model.solve(4, 1.5)
+
+
+class TestOptimisation:
+    def test_best_configuration_interior(self, model):
+        best = model.best_configuration(0.1, range(1, 33))
+        assert 1 < best.n_small < 33
+
+    def test_more_serial_means_bigger_advantage(self, model):
+        mild = model.solve(16, serial_fraction=0.05)
+        heavy = model.solve(16, serial_fraction=0.4)
+        assert heavy.advantage > mild.advantage
+
+    def test_works_on_65nm_substrate(self):
+        model = AsymmetricCMPModel(AnalyticalChipModel(NODE_65NM))
+        point = model.solve(8, serial_fraction=0.2)
+        assert point.total_speedup > 1.0

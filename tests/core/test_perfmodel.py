@@ -1,0 +1,116 @@
+"""Tests for the iron-law performance identities (Eqs. 5-7, 10)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    ExecutionTimeModel,
+    iso_performance_frequency,
+    nominal_parallel_efficiency,
+    speedup_from_frequency,
+)
+from repro.errors import ConfigurationError, InfeasibleOperatingPoint
+
+
+class TestExecutionTimeModel:
+    def test_iron_law(self):
+        model = ExecutionTimeModel(instructions=1e9, cpi=1.25)
+        assert model.time(2.5e9) == pytest.approx(0.5)
+        assert model.cycles() == pytest.approx(1.25e9)
+
+    def test_time_inverse_in_frequency(self):
+        model = ExecutionTimeModel(instructions=1e6, cpi=2.0)
+        assert model.time(1e9) == pytest.approx(2 * model.time(2e9))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionTimeModel(instructions=0, cpi=1.0)
+        with pytest.raises(ConfigurationError):
+            ExecutionTimeModel(instructions=1e6, cpi=-1.0)
+        with pytest.raises(ConfigurationError):
+            ExecutionTimeModel(1e6, 1.0).time(0.0)
+
+
+class TestNominalEfficiency:
+    def test_perfect_split(self):
+        seq = ExecutionTimeModel(instructions=1e8, cpi=1.0)
+        # Each of 4 threads does exactly a quarter of the work.
+        thread = ExecutionTimeModel(instructions=2.5e7, cpi=1.0)
+        assert nominal_parallel_efficiency(seq, thread, 4) == pytest.approx(1.0)
+
+    def test_overheads_reduce_efficiency(self):
+        seq = ExecutionTimeModel(instructions=1e8, cpi=1.0)
+        thread = ExecutionTimeModel(instructions=3e7, cpi=1.1)  # extra work + stalls
+        eff = nominal_parallel_efficiency(seq, thread, 4)
+        assert eff < 1.0
+
+    def test_superlinear_from_cache_effects(self):
+        seq = ExecutionTimeModel(instructions=1e8, cpi=2.0)
+        # Per-thread CPI improves because the aggregate cache grows.
+        thread = ExecutionTimeModel(instructions=2.5e7, cpi=1.5)
+        eff = nominal_parallel_efficiency(seq, thread, 4)
+        assert eff > 1.0
+
+    def test_invalid_n(self):
+        seq = ExecutionTimeModel(1e6, 1.0)
+        with pytest.raises(ConfigurationError):
+            nominal_parallel_efficiency(seq, seq, 0)
+
+
+class TestIsoPerformanceFrequency:
+    def test_eq7(self):
+        # f_N = f1 / (N * eps): 3.2 GHz, N=4, eps=0.8 -> 1.0 GHz.
+        assert iso_performance_frequency(3.2e9, 4, 0.8) == pytest.approx(1.0e9)
+
+    def test_perfect_efficiency_divides_by_n(self):
+        assert iso_performance_frequency(3.2e9, 16, 1.0) == pytest.approx(0.2e9)
+
+    def test_overclock_region_rejected(self):
+        # N * eps < 1 would need f > f1.
+        with pytest.raises(InfeasibleOperatingPoint):
+            iso_performance_frequency(3.2e9, 2, 0.4)
+
+    def test_boundary_exactly_one(self):
+        assert iso_performance_frequency(3.2e9, 2, 0.5) == pytest.approx(3.2e9)
+
+    def test_superlinear_allows_lower_frequency(self):
+        f_super = iso_performance_frequency(3.2e9, 4, 1.2)
+        f_linear = iso_performance_frequency(3.2e9, 4, 1.0)
+        assert f_super < f_linear
+
+    @given(
+        n=st.integers(min_value=1, max_value=32),
+        eps=st.floats(min_value=0.05, max_value=1.5),
+    )
+    def test_frequency_positive_and_round_trips(self, n, eps):
+        if n * eps < 1.0:
+            with pytest.raises(InfeasibleOperatingPoint):
+                iso_performance_frequency(1e9, n, eps)
+            return
+        f = iso_performance_frequency(1e9, n, eps)
+        assert f > 0
+        # The speedup at that frequency is exactly 1 (iso-performance).
+        assert speedup_from_frequency(f, 1e9, n, eps) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            iso_performance_frequency(0.0, 2, 1.0)
+        with pytest.raises(ConfigurationError):
+            iso_performance_frequency(1e9, 2, 0.0)
+
+
+class TestSpeedup:
+    def test_eq10(self):
+        # S = N * eps * f/f1.
+        assert speedup_from_frequency(1.6e9, 3.2e9, 8, 0.75) == pytest.approx(3.0)
+
+    def test_nominal_frequency_gives_n_eps(self):
+        assert speedup_from_frequency(3.2e9, 3.2e9, 4, 0.9) == pytest.approx(3.6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            speedup_from_frequency(0.0, 1e9, 2, 1.0)
+        with pytest.raises(ConfigurationError):
+            speedup_from_frequency(1e9, 1e9, 0, 1.0)

@@ -1,0 +1,82 @@
+"""Tests for the parameter-sensitivity analysis."""
+
+import pytest
+
+from repro.core.sensitivity import (
+    SensitivityEntry,
+    iso_performance_power_metric,
+    peak_speedup_metric,
+    sensitivity_analysis,
+)
+from repro.errors import ConfigurationError
+from repro.tech import NODE_65NM
+
+
+@pytest.fixture(scope="module")
+def speedup_entries():
+    return sensitivity_analysis(NODE_65NM, peak_speedup_metric)
+
+
+class TestEntry:
+    def test_elasticity_definition(self):
+        entry = SensitivityEntry(
+            parameter="x",
+            baseline_metric=2.0,
+            metric_up=2.2,
+            metric_down=1.8,
+            step=0.05,
+        )
+        # dM/M = 0.1, dp/p = 0.05 -> elasticity 2.
+        assert entry.elasticity == pytest.approx(2.0)
+        assert entry.magnitude == pytest.approx(2.0)
+
+    def test_negative_elasticity(self):
+        entry = SensitivityEntry("x", 2.0, 1.8, 2.2, 0.05)
+        assert entry.elasticity == pytest.approx(-2.0)
+        assert entry.magnitude == pytest.approx(2.0)
+
+
+class TestAnalysis:
+    def test_covers_all_parameters_ranked(self, speedup_entries):
+        names = [e.parameter for e in speedup_entries]
+        assert set(names) == {
+            "alpha",
+            "vth",
+            "static_fraction",
+            "noise_margin",
+            "f_nominal",
+        }
+        magnitudes = [e.magnitude for e in speedup_entries]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_voltage_floor_dominates_figure2(self, speedup_entries):
+        # The mechanism the ablations identified, quantified: the floor
+        # (vth and the noise margin) caps the budget-legal speedup.
+        top_two = {e.parameter for e in speedup_entries[:2]}
+        assert top_two == {"vth", "noise_margin"}
+        by_name = {e.parameter: e for e in speedup_entries}
+        assert by_name["vth"].elasticity < 0  # higher floor, lower peak
+        assert by_name["noise_margin"].elasticity < 0
+
+    def test_nominal_frequency_cancels(self, speedup_entries):
+        # Both headline metrics are normalized, so f1 must not matter.
+        by_name = {e.parameter: e for e in speedup_entries}
+        assert by_name["f_nominal"].magnitude < 0.05
+
+    def test_figure1_metric(self):
+        entries = sensitivity_analysis(
+            NODE_65NM,
+            iso_performance_power_metric(n=8, eps=0.8),
+            parameters=("vth", "static_fraction"),
+        )
+        by_name = {e.parameter: e for e in entries}
+        # A higher floor raises iso-performance power.
+        assert by_name["vth"].elasticity > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sensitivity_analysis(NODE_65NM, peak_speedup_metric, step=0.9)
+        with pytest.raises(ConfigurationError):
+            sensitivity_analysis(
+                NODE_65NM, peak_speedup_metric, parameters=("bogus",)
+            )

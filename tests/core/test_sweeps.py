@@ -1,0 +1,81 @@
+"""Tests for the Figure 1 / Figure 2 sweep helpers."""
+
+import pytest
+
+from repro.core import AnalyticalChipModel, figure1_sweep, figure2_sweep
+from repro.core.sweeps import FIGURE1_CORE_COUNTS
+from repro.tech import NODE_130NM, NODE_65NM
+
+
+@pytest.fixture(scope="module")
+def chip_130():
+    return AnalyticalChipModel(NODE_130NM)
+
+
+@pytest.fixture(scope="module")
+def chip_65():
+    return AnalyticalChipModel(NODE_65NM)
+
+
+@pytest.fixture(scope="module")
+def fig1_130(chip_130):
+    return figure1_sweep(chip_130, efficiency_points=21)
+
+
+class TestFigure1Sweep:
+    def test_one_curve_per_core_count(self, fig1_130):
+        assert [c.n for c in fig1_130] == list(FIGURE1_CORE_COUNTS)
+
+    def test_infeasible_left_edge_blank(self, fig1_130):
+        for curve in fig1_130:
+            # Feasible efficiencies satisfy N * eps >= 1.
+            assert all(curve.n * eps >= 1.0 - 1e-9 for eps in curve.efficiencies)
+
+    def test_curves_decreasing_in_efficiency(self, fig1_130):
+        for curve in fig1_130:
+            powers = curve.normalized_power
+            assert all(b <= a + 1e-9 for a, b in zip(powers, powers[1:])), curve.n
+
+    def test_sample_marks_present_for_feasible_n(self, fig1_130):
+        # The sample app has N*eps >= 1 for every Figure-1 N:
+        # 2*0.9, 4*0.8, 8*0.65, 16*0.5, 32*extrapolated.
+        marked = [c.n for c in fig1_130 if c.sample_mark is not None]
+        assert set(marked) >= {2, 4, 8, 16}
+
+    def test_sample_marks_lie_near_curves(self, fig1_130):
+        for curve in fig1_130:
+            if curve.sample_mark is None:
+                continue
+            eps, power = curve.sample_mark
+            assert 0 < eps <= 1.0
+            assert power > 0
+
+    def test_technology_label(self, fig1_130):
+        assert all(c.technology == "130nm" for c in fig1_130)
+
+
+class TestFigure2Sweep:
+    def test_interior_peak(self, chip_130):
+        curve = figure2_sweep(chip_130)
+        n_peak, s_peak = curve.peak()
+        assert 1 < n_peak < max(curve.core_counts)
+        assert s_peak > 1.0
+
+    def test_65nm_curve_below_130nm_beyond_peak(self, chip_130, chip_65):
+        c130 = figure2_sweep(chip_130)
+        c65 = figure2_sweep(chip_65)
+        map130 = dict(zip(c130.core_counts, c130.speedups))
+        map65 = dict(zip(c65.core_counts, c65.speedups))
+        for n in (10, 12, 16):
+            assert map65[n] < map130[n]
+
+    def test_regimes_ordered(self, chip_130):
+        curve = figure2_sweep(chip_130)
+        order = {"nominal": 0, "voltage-scaling": 1, "frequency-only": 2}
+        ranks = [order[r] for r in curve.regimes]
+        assert ranks == sorted(ranks)
+
+    def test_starts_at_one_core_unity(self, chip_130):
+        curve = figure2_sweep(chip_130)
+        assert curve.core_counts[0] == 1
+        assert curve.speedups[0] == pytest.approx(1.0)

@@ -1,0 +1,78 @@
+"""Tests for the analytical-vs-experimental agreement harness."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import ExperimentContext, run_scenario1
+from repro.harness.compare import (
+    AgreementPoint,
+    AgreementSummary,
+    compare_scenario1,
+)
+from repro.workloads import workload_by_name
+
+
+def make_point(predicted, measured, app="x", n=4):
+    return AgreementPoint(
+        app=app, n=n, eps_n=0.8, predicted_power=predicted, measured_power=measured
+    )
+
+
+class TestAgreementPoint:
+    def test_perfect_agreement(self):
+        point = make_point(0.5, 0.5)
+        assert point.relative_error == 0.0
+        assert point.log_ratio == 0.0
+
+    def test_log_ratio_symmetric(self):
+        over = make_point(0.25, 0.5)
+        under = make_point(0.5, 0.25)
+        assert over.log_ratio == pytest.approx(-under.log_ratio)
+
+
+class TestAgreementSummary:
+    def test_statistics(self):
+        summary = AgreementSummary(
+            points=(make_point(0.5, 0.5), make_point(0.25, 0.5))
+        )
+        assert summary.mean_abs_log_ratio == pytest.approx(math.log(2) / 2)
+        assert summary.worst_factor == pytest.approx(2.0)
+        assert summary.within_factor(2.0) == 1.0
+        assert summary.within_factor(1.5) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AgreementSummary(points=())
+        with pytest.raises(ConfigurationError):
+            AgreementSummary(points=(make_point(0.5, 0.5),)).within_factor(0.5)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        context = ExperimentContext(workload_scale=0.1)
+        experimental = run_scenario1(
+            context,
+            [workload_by_name("FMM"), workload_by_name("Water-Sp")],
+            core_counts=(1, 2, 4, 8),
+        )
+        return compare_scenario1(experimental)
+
+    def test_points_for_each_configuration(self, summary):
+        apps = {p.app for p in summary.points}
+        assert apps == {"FMM", "Water-Sp"}
+        assert len(summary.points) == 6  # 2 apps x N in {2, 4, 8}
+
+    def test_reasonable_agreement(self, summary):
+        # The paper claims the analytical model captures the behaviour
+        # "reasonably well"; quantified, every point should agree within
+        # a factor of ~2.5 and most within 2.
+        assert summary.worst_factor < 2.5
+        assert summary.within_factor(2.0) >= 0.8
+
+    def test_predictions_are_savings_too(self, summary):
+        for point in summary.points:
+            assert point.predicted_power < 1.0
+            assert point.measured_power < 1.0

@@ -1,0 +1,95 @@
+"""Tests for the design-space sensitivity sweeps."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.designspace import (
+    bus_width_variants,
+    l2_capacity_variants,
+    memory_latency_variants,
+    sweep_design_parameter,
+)
+from repro.workloads import workload_by_name
+from repro.workloads.base import WorkloadModel
+
+
+@pytest.fixture(scope="module")
+def ocean():
+    # Ocean: big footprint, so L2 capacity and memory latency both bite.
+    return WorkloadModel(workload_by_name("Ocean").spec.scaled(0.1))
+
+
+class TestVariantBuilders:
+    def test_l2_variants_change_capacity_only(self):
+        variants = l2_capacity_variants((1.0, 4.0))
+        assert set(variants) == {"L2=1MB", "L2=4MB"}
+        small = variants["L2=1MB"]
+        big = variants["L2=4MB"]
+        assert small.l2_config.capacity_bytes == 1024 * 1024
+        assert big.l2_config.capacity_bytes == 4 * 1024 * 1024
+        assert small.l1_config == big.l1_config
+        assert small.memory_config == big.memory_config
+
+    def test_bus_variants(self):
+        variants = bus_width_variants((2, 8))
+        assert variants["bus-data=2cyc"].bus_config.data_cycles == 2
+        assert variants["bus-data=8cyc"].bus_config.data_cycles == 8
+
+    def test_memory_variants(self):
+        variants = memory_latency_variants((40.0, 150.0))
+        assert variants["mem=40ns"].memory_config.round_trip_ns == 40.0
+        assert variants["mem=150ns"].memory_config.round_trip_ns == 150.0
+
+    def test_empty_sweep_rejected(self, ocean):
+        with pytest.raises(ConfigurationError):
+            sweep_design_parameter(ocean, {})
+
+
+class TestSweeps:
+    def test_bigger_l2_reduces_memory_stalls(self, ocean):
+        points = sweep_design_parameter(
+            ocean, l2_capacity_variants((1.0, 8.0)), n_threads=4
+        )
+        by_label = {p.label: p for p in points}
+        assert (
+            by_label["L2=8MB"].memory_stall_fraction
+            < by_label["L2=1MB"].memory_stall_fraction
+        )
+        assert (
+            by_label["L2=8MB"].execution_time_s
+            < by_label["L2=1MB"].execution_time_s
+        )
+
+    def test_slower_memory_hurts(self, ocean):
+        points = sweep_design_parameter(
+            ocean, memory_latency_variants((40.0, 300.0)), n_threads=4
+        )
+        by_label = {p.label: p for p in points}
+        assert (
+            by_label["mem=300ns"].execution_time_s
+            > by_label["mem=40ns"].execution_time_s
+        )
+
+    def test_narrower_bus_raises_utilisation(self, ocean):
+        points = sweep_design_parameter(
+            ocean, bus_width_variants((2, 16)), n_threads=8
+        )
+        by_label = {p.label: p for p in points}
+        assert (
+            by_label["bus-data=16cyc"].bus_utilisation
+            > by_label["bus-data=2cyc"].bus_utilisation
+        )
+        # Bus pressure erodes parallel efficiency.
+        assert (
+            by_label["bus-data=16cyc"].nominal_efficiency
+            < by_label["bus-data=2cyc"].nominal_efficiency
+        )
+
+    def test_point_fields_populated(self, ocean):
+        (point,) = sweep_design_parameter(
+            ocean, l2_capacity_variants((4.0,)), n_threads=2
+        )
+        assert point.n == 2
+        assert 0 < point.nominal_efficiency <= 1.5
+        assert 0 <= point.l1_miss_rate <= 1
+        assert 0 <= point.bus_utilisation <= 1

@@ -1,0 +1,113 @@
+"""Tests for the online DVFS governors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import ExperimentContext
+from repro.harness.governor import (
+    GovernedRun,
+    MemorySlackGovernor,
+    PerformanceGovernor,
+    WindowMeasurement,
+    run_governed,
+)
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(workload_scale=0.1)
+
+
+def measurement(frequency=3.2e9, power=10.0, stall=0.3):
+    return WindowMeasurement(
+        index=0,
+        frequency_hz=frequency,
+        execution_time_s=1e-5,
+        power_w=power,
+        memory_stall_fraction=stall,
+    )
+
+
+class TestPerformanceGovernor:
+    def test_over_budget_steps_down(self):
+        gov = PerformanceGovernor(budget_w=10.0)
+        assert gov.next_frequency(measurement(power=12.0)) == pytest.approx(3.0e9)
+
+    def test_headroom_steps_up(self):
+        gov = PerformanceGovernor(budget_w=10.0)
+        assert gov.next_frequency(
+            measurement(frequency=2.0e9, power=5.0)
+        ) == pytest.approx(2.2e9)
+
+    def test_dead_band_holds(self):
+        gov = PerformanceGovernor(budget_w=10.0, headroom=0.85)
+        assert gov.next_frequency(
+            measurement(frequency=2.0e9, power=9.0)
+        ) == pytest.approx(2.0e9)
+
+    def test_clamped_to_range(self):
+        gov = PerformanceGovernor(budget_w=10.0)
+        assert gov.next_frequency(measurement(power=0.1)) == pytest.approx(3.2e9)
+        assert gov.next_frequency(
+            measurement(frequency=200e6, power=100.0)
+        ) == pytest.approx(200e6)
+
+
+class TestMemorySlackGovernor:
+    def test_memory_bound_steps_down(self):
+        gov = MemorySlackGovernor()
+        assert gov.next_frequency(measurement(stall=0.8)) < 3.2e9
+
+    def test_compute_bound_steps_up(self):
+        gov = MemorySlackGovernor()
+        assert gov.next_frequency(
+            measurement(frequency=1.6e9, stall=0.1)
+        ) == pytest.approx(2.0e9)
+
+    def test_mid_band_holds(self):
+        gov = MemorySlackGovernor()
+        assert gov.next_frequency(
+            measurement(frequency=1.6e9, stall=0.5)
+        ) == pytest.approx(1.6e9)
+
+
+class TestRunGoverned:
+    def test_budget_governor_steps_toward_budget(self, context):
+        budget = 0.6 * context.calibration.max_operational_power_w
+        gov = PerformanceGovernor(budget_w=budget, step_hz=600e6)
+        run = run_governed(context, workload_by_name("FMM"), 4, gov)
+        assert len(run.windows) >= 3
+        # Once warm windows reveal the overshoot, the governor walks the
+        # frequency down monotonically...
+        freqs = run.frequency_trajectory
+        over = [w.index for w in run.windows if w.power_w > budget]
+        assert over, "test premise: FMM at nominal should exceed the budget"
+        assert freqs[-1] < freqs[over[0]]
+        # ...and the last window is at or near the budget.
+        assert run.windows[-1].power_w <= budget * 1.3
+
+    def test_memory_governor_slows_memory_bound_app(self, context):
+        gov = MemorySlackGovernor()
+        run = run_governed(context, workload_by_name("Radix"), 4, gov)
+        assert run.frequency_trajectory[-1] < run.frequency_trajectory[0]
+
+    def test_memory_governor_keeps_compute_app_fast(self, context):
+        gov = MemorySlackGovernor()
+        run = run_governed(context, workload_by_name("FMM"), 2, gov)
+        assert run.frequency_trajectory[-1] >= 2.4e9
+
+    def test_energy_time_totals(self, context):
+        gov = MemorySlackGovernor()
+        run = run_governed(context, workload_by_name("Radix"), 2, gov)
+        assert isinstance(run, GovernedRun)
+        assert run.total_time_s > 0
+        assert run.total_energy_j > 0
+        assert run.average_power_w > 0
+
+    def test_validation(self, context):
+        gov = MemorySlackGovernor()
+        with pytest.raises(ConfigurationError):
+            run_governed(
+                context, workload_by_name("Radix"), 2, gov, barriers_per_window=0
+            )

@@ -1,0 +1,59 @@
+"""Tests for the activity-migration thermal policy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import ExperimentContext
+from repro.harness.migration import compare_migration, run_activity_migration
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(workload_scale=0.1)
+
+
+@pytest.fixture(scope="module")
+def results(context):
+    return compare_migration(context, workload_by_name("FMM"), rotation_set=4)
+
+
+class TestPolicies:
+    def test_rotation_lowers_peak_temperature(self, results):
+        pinned, rotated = results
+        assert rotated.peak_temperature_c < pinned.peak_temperature_c - 2.0
+
+    def test_rotation_costs_performance(self, results):
+        pinned, rotated = results
+        # Cold caches after each hop: slower and missier.
+        assert rotated.total_time_s > pinned.total_time_s
+        assert rotated.l1_miss_rate > pinned.l1_miss_rate
+
+    def test_peak_bounded_by_steady_state(self, results):
+        for r in results:
+            assert r.peak_temperature_c <= r.steady_peak_c + 0.5
+
+    def test_policy_labels(self, results):
+        pinned, rotated = results
+        assert pinned.policy == "pinned"
+        assert rotated.policy == "rotate-4"
+        assert pinned.window_count == rotated.window_count > 1
+
+    def test_bigger_rotation_set_cooler(self, context):
+        small = run_activity_migration(
+            context, workload_by_name("FMM"), rotation_set=2, rotate=True
+        )
+        large = run_activity_migration(
+            context, workload_by_name("FMM"), rotation_set=8, rotate=True
+        )
+        assert large.peak_temperature_c <= small.peak_temperature_c + 0.5
+
+    def test_validation(self, context):
+        with pytest.raises(ConfigurationError):
+            run_activity_migration(
+                context, workload_by_name("FMM"), rotation_set=0
+            )
+        with pytest.raises(ConfigurationError):
+            run_activity_migration(
+                context, workload_by_name("FMM"), rotation_set=99
+            )

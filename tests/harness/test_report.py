@@ -1,0 +1,64 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.harness.report import ReportOptions, generate_report
+
+
+@pytest.fixture(scope="module")
+def analytical_report():
+    return generate_report(ReportOptions(include_experimental=False))
+
+
+@pytest.fixture(scope="module")
+def full_report():
+    return generate_report(
+        ReportOptions(
+            include_experimental=True,
+            workload_scale=0.05,
+            scenario1_apps=("FMM",),
+            scenario2_apps=("Radix",),
+            scenario2_core_counts=(1, 2),
+        )
+    )
+
+
+class TestAnalyticalReport:
+    def test_has_all_sections(self, analytical_report):
+        assert "# repro experiment report" in analytical_report
+        assert "## Figure 1" in analytical_report
+        assert "## Figure 2" in analytical_report
+        assert "## Scenario III" in analytical_report
+        assert "## Figure 3" not in analytical_report
+
+    def test_both_technologies(self, analytical_report):
+        assert "### 130nm" in analytical_report
+        assert "### 65nm" in analytical_report
+
+    def test_tables_well_formed(self, analytical_report):
+        for line in analytical_report.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_figure1_values_present(self, analytical_report):
+        # The eps=0.5 column must resolve (grid alignment).
+        fig1 = analytical_report.split("## Figure 2")[0]
+        data_lines = [
+            l for l in fig1.splitlines() if l.startswith("| 4 ")
+        ]
+        assert data_lines
+        assert "nan" not in data_lines[0]
+
+    def test_figure2_peak_reported(self, analytical_report):
+        assert "peak" in analytical_report
+
+
+class TestFullReport:
+    def test_experimental_sections_present(self, full_report):
+        assert "## Figure 3" in full_report
+        assert "## Figure 4" in full_report
+        assert "FMM" in full_report
+        assert "Radix" in full_report
+
+    def test_budget_line(self, full_report):
+        assert "power budget" in full_report

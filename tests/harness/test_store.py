@@ -1,0 +1,136 @@
+"""Tests for the JSON results store."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.designspace import DesignPoint
+from repro.harness.percore import PerCoreDVFSResult
+from repro.harness.scenario1 import Scenario1Row
+from repro.harness.scenario2 import Scenario2Row
+from repro.harness.store import SCHEMA_VERSION, load_results, save_results
+
+
+def sample_rows():
+    return {
+        "fig3": [
+            Scenario1Row(
+                app="FMM",
+                n=4,
+                nominal_efficiency=0.85,
+                actual_speedup=1.2,
+                normalized_power=0.45,
+                normalized_power_density=0.12,
+                average_temperature_c=48.5,
+                frequency_hz=0.9e9,
+                voltage=0.73,
+                total_power_w=4.0,
+            )
+        ],
+        "fig4": [
+            Scenario2Row(
+                app="Radix",
+                n=8,
+                nominal_speedup=6.5,
+                actual_speedup=6.5,
+                frequency_hz=3.2e9,
+                voltage=1.1,
+                power_w=12.0,
+                budget_w=17.2,
+            )
+        ],
+        "percore": [
+            PerCoreDVFSResult(
+                app="Cholesky",
+                n=4,
+                uniform_time_s=1e-5,
+                uniform_energy_j=1e-4,
+                percore_time_s=1.1e-5,
+                percore_energy_j=8e-5,
+                core_frequencies_hz=(3.2e9, 2.4e9, 2.4e9, 2.6e9),
+                core_voltages=(1.1, 0.97, 0.97, 1.0),
+            )
+        ],
+        "design": [
+            DesignPoint(
+                label="L2=4MB",
+                n=8,
+                execution_time_s=1e-5,
+                nominal_efficiency=0.7,
+                l1_miss_rate=0.05,
+                memory_stall_fraction=0.4,
+                bus_utilisation=0.5,
+            )
+        ],
+    }
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        original = sample_rows()
+        save_results(original, path)
+        loaded = load_results(path)
+        assert loaded == original
+
+    def test_tuples_restored(self, tmp_path):
+        path = tmp_path / "c.json"
+        save_results(sample_rows(), path)
+        loaded = load_results(path)
+        row = loaded["percore"][0]
+        assert isinstance(row.core_frequencies_hz, tuple)
+        assert row.energy_saving == pytest.approx(0.2)
+
+    def test_file_is_plain_json(self, tmp_path):
+        path = tmp_path / "c.json"
+        save_results(sample_rows(), path)
+        document = json.loads(path.read_text())
+        assert document["schema"] == SCHEMA_VERSION
+        assert set(document["groups"]) == {"fig3", "fig4", "percore", "design"}
+
+
+class TestValidation:
+    def test_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all")
+        with pytest.raises(ConfigurationError):
+            load_results(path)
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": 999, "groups": {}}))
+        with pytest.raises(ConfigurationError, match="schema"):
+            load_results(path)
+
+    def test_rejects_unknown_fields(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "groups": {
+                        "g": [{"type": "scenario2", "data": {"bogus": 1}}]
+                    },
+                }
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            load_results(path)
+
+    def test_rejects_unknown_row_type(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": SCHEMA_VERSION,
+                    "groups": {"g": [{"type": "mystery", "data": {}}]},
+                }
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            load_results(path)
+
+    def test_rejects_unsupported_row_objects(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_results({"g": [object()]}, tmp_path / "x.json")

@@ -1,0 +1,80 @@
+"""Tests for the thermal step-response harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.thermal_transient import ThermalTransient, thermal_step_response
+from repro.thermal import HotSpotModel, cmp_floorplan
+
+
+@pytest.fixture(scope="module")
+def thermal():
+    model = HotSpotModel(
+        cmp_floorplan(16), ambient_celsius=45.0, exclude_from_average=("l2",)
+    )
+    model.calibrate({"core0": 60.0}, peak_celsius=100.0)
+    return model
+
+
+@pytest.fixture(scope="module")
+def cooldown(thermal):
+    # Scenario I style down-shift: one hot core drops to a quarter power.
+    return thermal_step_response(
+        thermal,
+        power_before={"core0": 60.0},
+        power_after={"core0": 15.0},
+        duration_s=0.5,
+        n_samples=25,
+        dt_s=1e-3,
+    )
+
+
+class TestTrajectory:
+    def test_starts_at_old_steady_state(self, cooldown):
+        assert cooldown.samples[0][1] == pytest.approx(cooldown.start_c)
+
+    def test_monotone_cooldown(self, cooldown):
+        temps = [temperature for _, temperature in cooldown.samples]
+        assert all(b <= a + 1e-9 for a, b in zip(temps, temps[1:]))
+
+    def test_approaches_target(self, cooldown):
+        assert cooldown.settled_fraction() > 0.9
+        assert cooldown.target_c < cooldown.start_c
+
+    def test_time_constant_positive_and_within_run(self, cooldown):
+        tau = cooldown.time_constant_s()
+        assert 0 < tau < 0.5
+
+    def test_warmup_direction_works_too(self, thermal):
+        warmup = thermal_step_response(
+            thermal,
+            power_before={"core0": 10.0},
+            power_after={"core0": 50.0},
+            duration_s=0.5,
+            n_samples=15,
+            dt_s=1e-3,
+        )
+        assert warmup.target_c > warmup.start_c
+        temps = [t for _, t in warmup.samples]
+        assert all(b >= a - 1e-9 for a, b in zip(temps, temps[1:]))
+
+    def test_no_step_zero_time_constant(self, thermal):
+        flat = thermal_step_response(
+            thermal,
+            power_before={"core0": 20.0},
+            power_after={"core0": 20.0},
+            duration_s=0.05,
+            n_samples=5,
+        )
+        assert flat.time_constant_s() == 0.0
+        assert flat.settled_fraction() == 1.0
+
+
+class TestValidation:
+    def test_bad_arguments(self, thermal):
+        with pytest.raises(ConfigurationError):
+            thermal_step_response(thermal, {}, {}, duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            thermal_step_response(thermal, {}, {}, n_samples=1)
+        with pytest.raises(ConfigurationError):
+            ThermalTransient(samples=((0.0, 50.0),), start_c=50.0, target_c=40.0)

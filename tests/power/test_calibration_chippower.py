@@ -1,0 +1,109 @@
+"""Tests for the Section 3.3 calibration and full-chip power integration."""
+
+import pytest
+
+from repro.power import (
+    ChipPowerModel,
+    StaticPowerModel,
+    WattchModel,
+    calibrate_power_model,
+)
+from repro.sim import ChipMultiprocessor, CMPConfig
+from repro.thermal import HotSpotModel, cmp_floorplan
+from repro.workloads import workload_by_name
+from repro.workloads.base import WorkloadModel
+
+
+@pytest.fixture(scope="module")
+def toolchain():
+    config = CMPConfig()
+    thermal = HotSpotModel(
+        cmp_floorplan(16), ambient_celsius=45.0, exclude_from_average=("l2",)
+    )
+    wattch = WattchModel()
+    static = StaticPowerModel()
+    calibration = calibrate_power_model(config, thermal, wattch, static)
+    chip_power = ChipPowerModel(thermal, wattch, static, calibration)
+    return config, thermal, wattch, static, calibration, chip_power
+
+
+def run_app(config, app, n, scale=0.06):
+    model = WorkloadModel(workload_by_name(app).spec.scaled(scale))
+    chip = ChipMultiprocessor(config)
+    return chip.run(
+        [model.thread_ops(t, n) for t in range(n)],
+        model.core_timing(),
+        warmup_barriers=model.warmup_barriers,
+    )
+
+
+class TestCalibration:
+    def test_design_point_consistency(self, toolchain):
+        _, thermal, _, static, calibration, _ = toolchain
+        # The max operational power's dynamic+static split is anchored at
+        # 100 C and the total pins the die there.
+        total = calibration.max_operational_power_w
+        dynamic = calibration.design_dynamic_w
+        assert dynamic < total
+        ratio = static.ratio(100.0)
+        assert dynamic * (1 + ratio) == pytest.approx(total, rel=1e-6)
+        result = thermal.solve({"core0": total})
+        assert result.peak_celsius() == pytest.approx(100.0, abs=0.5)
+
+    def test_renormalisation_identity(self, toolchain):
+        *_, calibration, _ = toolchain
+        raw = calibration.wattch_microbenchmark_w
+        assert calibration.renormalise(raw) == pytest.approx(
+            calibration.design_dynamic_w
+        )
+
+    def test_ratio_positive(self, toolchain):
+        *_, calibration, _ = toolchain
+        assert calibration.wattch_to_hotspot_ratio > 0
+
+
+class TestChipPowerModel:
+    def test_power_components_positive(self, toolchain):
+        config, *_, chip_power = toolchain
+        result = run_app(config, "FMM", 2)
+        power = chip_power.evaluate(result)
+        assert power.dynamic_w > 0
+        assert power.static_w > 0
+        assert power.total_w == pytest.approx(power.dynamic_w + power.static_w)
+
+    def test_temperature_between_ambient_and_design(self, toolchain):
+        config, *_, chip_power = toolchain
+        result = run_app(config, "FMM", 2)
+        power = chip_power.evaluate(result)
+        assert 45.0 <= power.average_temperature_c <= 100.0
+
+    def test_compute_app_hotter_than_memory_app(self, toolchain):
+        config, *_, chip_power = toolchain
+        fmm = chip_power.evaluate(run_app(config, "FMM", 1))
+        radix = chip_power.evaluate(run_app(config, "Radix", 1))
+        assert fmm.total_w > radix.total_w
+        assert fmm.average_temperature_c > radix.average_temperature_c
+
+    def test_power_map_matches_floorplan(self, toolchain):
+        config, thermal, *_, chip_power = toolchain
+        result = run_app(config, "Barnes", 4)
+        power = chip_power.evaluate(result)
+        assert set(power.power_map) <= set(thermal.floorplan.names)
+        assert "l2" in power.power_map
+
+    def test_density_uses_active_cores_only(self, toolchain):
+        config, thermal, *_, chip_power = toolchain
+        one = chip_power.evaluate(run_app(config, "Barnes", 1))
+        # Density denominator = one core's area for N=1.
+        core_area = thermal.floorplan.block("core0").area
+        active_power = one.power_map["core0"]
+        assert one.core_power_density_w_m2 == pytest.approx(
+            active_power / core_area
+        )
+
+    def test_dvfs_cuts_power(self, toolchain):
+        config, *_, chip_power = toolchain
+        nominal = chip_power.evaluate(run_app(config, "Barnes", 2))
+        scaled_config = config.with_operating_point(1.0e9, 0.75)
+        scaled = chip_power.evaluate(run_app(scaled_config, "Barnes", 2))
+        assert scaled.total_w < nominal.total_w

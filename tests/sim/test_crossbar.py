@@ -1,0 +1,127 @@
+"""Tests for the banked-crossbar interconnect extension."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import ChipMultiprocessor, CMPConfig
+from repro.sim.bus import BankedCrossbar, BusConfig
+from repro.sim.clock import ClockDomain
+from repro.workloads import workload_by_name
+from repro.workloads.base import WorkloadModel
+
+
+def make_crossbar(channels=4):
+    return BankedCrossbar(BusConfig(), ClockDomain(3.2e9), n_channels=channels)
+
+
+class TestBankedCrossbar:
+    def test_disjoint_routes_do_not_contend(self):
+        xbar = make_crossbar(4)
+        g0, _ = xbar.acquire(0, with_data=True, route=0)
+        g1, _ = xbar.acquire(0, with_data=True, route=1)
+        assert g0 == g1 == 0
+
+    def test_same_route_serialises(self):
+        xbar = make_crossbar(4)
+        _, r0 = xbar.acquire(0, with_data=True, route=0)
+        g1, _ = xbar.acquire(0, with_data=True, route=4)  # 4 % 4 == 0
+        assert g1 == r0
+
+    def test_single_channel_degenerates_to_bus(self):
+        xbar = make_crossbar(1)
+        _, r0 = xbar.acquire(0, with_data=True, route=0)
+        g1, _ = xbar.acquire(0, with_data=True, route=1)
+        assert g1 == r0
+
+    def test_port_overhead_slower_per_transaction(self):
+        from repro.sim.bus import SharedBus
+
+        bus = SharedBus(BusConfig(), ClockDomain(3.2e9))
+        xbar = make_crossbar(4)
+        _, bus_release = bus.acquire(0, with_data=True)
+        _, xbar_release = xbar.acquire(0, with_data=True, route=0)
+        assert xbar_release > bus_release  # the switch costs a cycle
+
+    def test_utilisation_averages_channels(self):
+        xbar = make_crossbar(2)
+        _, release = xbar.acquire(0, with_data=True, route=0)
+        # Only one of two channels busy.
+        assert xbar.utilisation(release) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_crossbar(0)
+        with pytest.raises(ConfigurationError):
+            BankedCrossbar(
+                BusConfig(), ClockDomain(3.2e9), n_channels=2, port_cycles=-1
+            )
+
+    def test_reset(self):
+        xbar = make_crossbar(2)
+        xbar.acquire(0, with_data=True, route=0)
+        xbar.reset_timing()
+        g, _ = xbar.acquire(0, with_data=True, route=0)
+        assert g == 0
+
+
+class TestCrossbarCMP:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CMPConfig(interconnect="torus")
+        with pytest.raises(ConfigurationError):
+            CMPConfig(interconnect="crossbar", crossbar_channels=0)
+
+    def test_crossbar_helps_bus_bound_workload(self):
+        # Radix at 16 cores saturates the single bus; the crossbar
+        # relieves it and execution time drops.
+        model = WorkloadModel(workload_by_name("Radix").spec.scaled(0.15))
+
+        def run(config):
+            return ChipMultiprocessor(config).run(
+                [model.thread_ops(t, 16) for t in range(16)],
+                model.core_timing(),
+                warmup_barriers=model.warmup_barriers,
+            )
+
+        bus_run = run(CMPConfig(interconnect="bus"))
+        xbar_run = run(CMPConfig(interconnect="crossbar", crossbar_channels=8))
+        assert xbar_run.execution_time_ps < bus_run.execution_time_ps
+        assert xbar_run.bus.utilisation(
+            xbar_run.execution_time_ps
+        ) < bus_run.bus.utilisation(bus_run.execution_time_ps)
+
+    def test_crossbar_neutral_for_low_traffic(self):
+        # A compute-bound app barely touches the interconnect; topology
+        # should hardly matter.
+        model = WorkloadModel(workload_by_name("Water-Sp").spec.scaled(0.1))
+
+        def run(config):
+            return ChipMultiprocessor(config).run(
+                [model.thread_ops(t, 2) for t in range(2)],
+                model.core_timing(),
+                warmup_barriers=model.warmup_barriers,
+            )
+
+        bus_run = run(CMPConfig(interconnect="bus"))
+        xbar_run = run(CMPConfig(interconnect="crossbar"))
+        ratio = xbar_run.execution_time_ps / bus_run.execution_time_ps
+        assert 0.95 < ratio < 1.05
+
+    def test_coherence_still_correct_on_crossbar(self):
+        # The MESI invariants machinery runs against the crossbar too.
+        from tests.sim.test_mesi_invariants import check_invariants, make_controller
+        from repro.sim.cache import Cache, CacheConfig
+        from repro.sim.coherence import MESIController
+        from repro.sim.memory import MainMemory
+
+        clock = ClockDomain(3.2e9)
+        l1s = [Cache(CacheConfig(1024, 64, 2)) for _ in range(4)]
+        l2 = Cache(CacheConfig(16 * 1024, 128, 8))
+        ctrl = MESIController(
+            l1s, l2, make_crossbar(4), MainMemory(), clock
+        )
+        t = 0
+        pattern = [(0, 0x40, True), (1, 0x40, False), (2, 0x40, True), (3, 0x80, False)]
+        for core, addr, write in pattern * 5:
+            t = (ctrl.write if write else ctrl.read)(core, addr, t) + 1
+            check_invariants(ctrl)

@@ -1,0 +1,91 @@
+"""Tests for the next-line prefetcher extension."""
+
+import pytest
+
+from repro.sim import ChipMultiprocessor, CMPConfig
+from repro.sim.ops import OP_COMPUTE, OP_LOAD
+from repro.workloads import workload_by_name
+from repro.workloads.base import WorkloadModel
+
+
+def streaming_thread(n_lines=200, line=64):
+    """A pure sequential walk: the prefetcher's best case."""
+    ops = []
+    for i in range(n_lines):
+        ops.append((OP_COMPUTE, 20))
+        ops.append((OP_LOAD, i * line))
+    return ops
+
+
+class TestPrefetcher:
+    def test_streaming_misses_collapse(self):
+        base = ChipMultiprocessor(CMPConfig()).run([streaming_thread()])
+        pref = ChipMultiprocessor(CMPConfig(prefetch_next_line=True)).run(
+            [streaming_thread()]
+        )
+        assert pref.coherence.prefetches > 100
+        assert pref.coherence.l1_misses < base.coherence.l1_misses * 0.2
+
+    def test_streaming_runs_faster(self):
+        base = ChipMultiprocessor(CMPConfig()).run([streaming_thread()])
+        pref = ChipMultiprocessor(CMPConfig(prefetch_next_line=True)).run(
+            [streaming_thread()]
+        )
+        assert pref.execution_time_ps < base.execution_time_ps
+
+    def test_disabled_by_default(self):
+        result = ChipMultiprocessor(CMPConfig()).run([streaming_thread(20)])
+        assert result.coherence.prefetches == 0
+
+    def test_no_prefetch_of_shared_lines(self):
+        # Core 1 owns line 1; core 0's miss on line 0 must not steal it.
+        from repro.sim.cache import MODIFIED
+
+        config = CMPConfig(prefetch_next_line=True)
+        chip = ChipMultiprocessor(config)
+        threads = [
+            [(OP_COMPUTE, 5000), (OP_LOAD, 0)],  # will want to prefetch line 1
+            [(OP_LOAD, 64), (OP_COMPUTE, 10_000)],  # owns line 1 early
+        ]
+        result = chip.run(threads)
+        # Core 1 still holds its line: the sharer map was respected.
+        line = result.l1_caches[1].line_address(64)
+        assert result.l1_caches[1].probe(line) is not None
+
+    def test_mesi_invariants_with_prefetch(self):
+        from tests.sim.test_mesi_invariants import check_invariants
+        from repro.sim.bus import BusConfig, SharedBus
+        from repro.sim.cache import Cache, CacheConfig
+        from repro.sim.clock import ClockDomain
+        from repro.sim.coherence import MESIController
+        from repro.sim.memory import MainMemory
+
+        clock = ClockDomain(3.2e9)
+        l1s = [Cache(CacheConfig(1024, 64, 2)) for _ in range(3)]
+        l2 = Cache(CacheConfig(16 * 1024, 128, 8))
+        ctrl = MESIController(
+            l1s, l2, SharedBus(BusConfig(), clock), MainMemory(), clock,
+            prefetch_next_line=True,
+        )
+        t = 0
+        for step, (core, addr, write) in enumerate(
+            [(0, 0, False), (1, 64, True), (0, 64, False), (2, 128, True),
+             (1, 0, False), (0, 192, True), (2, 64, False)] * 4
+        ):
+            t = (ctrl.write if write else ctrl.read)(core, addr, t) + 1
+            check_invariants(ctrl)
+
+    def test_memory_bound_app_benefits(self):
+        model = WorkloadModel(workload_by_name("Ocean").spec.scaled(0.08))
+
+        def run(prefetch):
+            chip = ChipMultiprocessor(CMPConfig(prefetch_next_line=prefetch))
+            return chip.run(
+                [model.thread_ops(t, 4) for t in range(4)],
+                model.core_timing(),
+                warmup_barriers=model.warmup_barriers,
+            )
+
+        base = run(False)
+        pref = run(True)
+        assert pref.l1_miss_rate() < base.l1_miss_rate()

@@ -1,0 +1,82 @@
+"""Tests for the M/D/1 bus queueing cross-check."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import ChipMultiprocessor, CMPConfig
+from repro.sim.queueing import (
+    analyse_bus_queueing,
+    md1_mean_wait,
+    saturation_core_count,
+)
+from repro.workloads import workload_by_name
+from repro.workloads.base import WorkloadModel
+
+
+def run_app(app, n, scale=0.1):
+    model = WorkloadModel(workload_by_name(app).spec.scaled(scale))
+    chip = ChipMultiprocessor(CMPConfig())
+    return chip.run(
+        [model.thread_ops(t, n) for t in range(n)],
+        model.core_timing(),
+        warmup_barriers=model.warmup_barriers,
+    )
+
+
+class TestMD1:
+    def test_zero_utilisation_zero_wait(self):
+        assert md1_mean_wait(0.0, 100.0) == 0.0
+
+    def test_wait_grows_superlinearly(self):
+        w_half = md1_mean_wait(0.5, 100.0)
+        w_090 = md1_mean_wait(0.9, 100.0)
+        assert w_090 > 5 * w_half
+
+    def test_known_value(self):
+        # rho=0.5, S=100: W = 0.5*100 / (2*0.5) = 50.
+        assert md1_mean_wait(0.5, 100.0) == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            md1_mean_wait(1.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            md1_mean_wait(0.5, -1.0)
+
+
+class TestSaturationEstimate:
+    def test_back_of_envelope(self):
+        # lambda = 0.0125 req/cycle, S = 6 cycles -> N* ~ 13.3.
+        assert saturation_core_count(0.0125, 6.0) == pytest.approx(13.33, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            saturation_core_count(0.0, 6.0)
+
+
+class TestAnalysis:
+    def test_low_load_negligible_wait(self):
+        result = run_app("Water-Sp", 2)
+        analysis = analyse_bus_queueing(result)
+        assert analysis.utilisation < 0.5
+        assert analysis.measured_mean_wait_ps < 2 * analysis.service_time_ps
+
+    def test_high_load_waits_blow_up(self):
+        light = analyse_bus_queueing(run_app("Water-Sp", 2))
+        heavy = analyse_bus_queueing(run_app("Radix", 16))
+        assert heavy.utilisation > light.utilisation
+        assert heavy.measured_mean_wait_ps > light.measured_mean_wait_ps
+        assert heavy.predicted_mean_wait_ps > light.predicted_mean_wait_ps
+
+    def test_theory_and_simulation_same_order_of_magnitude(self):
+        analysis = analyse_bus_queueing(run_app("Ocean", 8))
+        if analysis.utilisation > 0.2:
+            assert 0.1 < analysis.wait_ratio < 10.0
+
+    def test_idle_bus_analysis(self):
+        from repro.sim.ops import OP_COMPUTE
+
+        chip = ChipMultiprocessor(CMPConfig())
+        result = chip.run([[(OP_COMPUTE, 1000)]])
+        analysis = analyse_bus_queueing(result)
+        assert analysis.utilisation == 0.0
+        assert analysis.wait_ratio == 1.0

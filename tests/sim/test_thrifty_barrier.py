@@ -1,0 +1,92 @@
+"""Tests for the thrifty-barrier sleep extension [26]."""
+
+import pytest
+from dataclasses import replace
+
+from repro.errors import ConfigurationError
+from repro.power import WattchModel
+from repro.sim import ChipMultiprocessor, CMPConfig
+from repro.sim.ops import OP_BARRIER, OP_COMPUTE
+
+
+def imbalanced_threads():
+    """Thread 1 does 50x the work of thread 0 before a barrier."""
+    return [
+        [(OP_COMPUTE, 1_000), (OP_BARRIER, 0), (OP_COMPUTE, 1_000)],
+        [(OP_COMPUTE, 50_000), (OP_BARRIER, 0), (OP_COMPUTE, 1_000)],
+    ]
+
+
+def run(config):
+    return ChipMultiprocessor(config).run(imbalanced_threads())
+
+
+class TestSleepMechanics:
+    def test_sleep_recorded_on_long_waits(self):
+        result = run(CMPConfig(barrier_sleep=True))
+        fast, slow = result.core_stats
+        assert fast.sleep_ps > 0
+        assert slow.sleep_ps == 0  # the last arriver never waits
+
+    def test_no_sleep_when_disabled(self):
+        result = run(CMPConfig(barrier_sleep=False))
+        assert all(s.sleep_ps == 0 for s in result.core_stats)
+
+    def test_hidden_wakeup_preserves_performance(self):
+        base = run(CMPConfig(barrier_sleep=False)).execution_time_ps
+        slept = run(CMPConfig(barrier_sleep=True, sleep_wakeup_cycles=200))
+        # The exact predictor wakes cores just in time: no slowdown.
+        assert slept.execution_time_ps == base
+
+    def test_sleep_excludes_wakeup_window(self):
+        from repro.sim.clock import ClockDomain
+        result = run(CMPConfig(barrier_sleep=True, sleep_wakeup_cycles=200))
+        fast = result.core_stats[0]
+        clock = ClockDomain(result.config.frequency_hz)
+        # The spin window equals the wake-up penalty plus any short waits.
+        assert fast.sync_wait_ps >= clock.cycles_to_ps(200)
+
+    def test_short_waits_do_not_sleep(self):
+        balanced = [
+            [(OP_COMPUTE, 1_000), (OP_BARRIER, 0)],
+            [(OP_COMPUTE, 1_010), (OP_BARRIER, 0)],
+        ]
+        result = ChipMultiprocessor(
+            CMPConfig(barrier_sleep=True, sleep_wakeup_cycles=200)
+        ).run(balanced)
+        assert all(s.sleep_ps == 0 for s in result.core_stats)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CMPConfig(sleep_wakeup_cycles=-1)
+
+    def test_operating_point_copy_preserves_sleep(self):
+        config = CMPConfig(barrier_sleep=True, sleep_wakeup_cycles=123)
+        scaled = config.with_operating_point(1.6e9, 0.8)
+        assert scaled.barrier_sleep
+        assert scaled.sleep_wakeup_cycles == 123
+
+
+class TestSleepEnergy:
+    def test_sleep_saves_core_energy(self):
+        wattch = WattchModel()
+        awake = run(CMPConfig(barrier_sleep=False))
+        asleep = run(CMPConfig(barrier_sleep=True))
+        # The waiting core (index 0) burns less with the thrifty barrier.
+        e_awake = wattch.core_dynamic_energy_j(awake, 0)
+        e_asleep = wattch.core_dynamic_energy_j(asleep, 0)
+        assert e_asleep < e_awake * 0.6
+
+    def test_busy_core_unaffected(self):
+        wattch = WattchModel()
+        awake = run(CMPConfig(barrier_sleep=False))
+        asleep = run(CMPConfig(barrier_sleep=True))
+        assert wattch.core_dynamic_energy_j(asleep, 1) == pytest.approx(
+            wattch.core_dynamic_energy_j(awake, 1), rel=0.02
+        )
+
+    def test_sleep_gating_validated(self):
+        from repro.power import UnitEnergies
+
+        with pytest.raises(ConfigurationError):
+            UnitEnergies(sleep_gating=1.5)

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.InfeasibleOperatingPoint,
+    errors.ConvergenceError,
+    errors.SimulationError,
+    errors.WorkloadError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS, ids=lambda e: e.__name__)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    assert issubclass(exc, Exception)
+
+
+def test_single_catch_covers_library_failures():
+    from repro.tech import NODE_65NM
+
+    with pytest.raises(errors.ReproError):
+        NODE_65NM.fmax(0.0)  # InfeasibleOperatingPoint
+
+    from repro.sim.cache import CacheConfig
+
+    with pytest.raises(errors.ReproError):
+        CacheConfig(0, 64, 2)  # ConfigurationError
+
+
+def test_errors_carry_messages():
+    from repro.core import iso_performance_frequency
+
+    with pytest.raises(errors.InfeasibleOperatingPoint, match="overclocking"):
+        iso_performance_frequency(3.2e9, 2, 0.4)

@@ -1,0 +1,49 @@
+"""Tests for the physical-constant and unit helpers."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+def test_celsius_kelvin_round_trip():
+    assert units.celsius_to_kelvin(0.0) == 273.15
+    assert units.kelvin_to_celsius(273.15) == 0.0
+    assert units.celsius_to_kelvin(100.0) == 373.15
+
+
+def test_room_temperature_is_25c():
+    assert math.isclose(units.kelvin_to_celsius(units.ROOM_TEMPERATURE_K), 25.0)
+
+
+@given(st.floats(min_value=-200.0, max_value=500.0))
+def test_celsius_kelvin_inverse(temperature_c):
+    roundtrip = units.kelvin_to_celsius(units.celsius_to_kelvin(temperature_c))
+    assert math.isclose(roundtrip, temperature_c, abs_tol=1e-9)
+
+
+def test_thermal_voltage_at_room_temperature():
+    # kT/q at 300 K is the textbook ~25.85 mV.
+    assert math.isclose(units.thermal_voltage(300.0), 0.025852, rel_tol=1e-3)
+
+
+def test_thermal_voltage_scales_linearly_with_temperature():
+    assert math.isclose(
+        units.thermal_voltage(600.0), 2.0 * units.thermal_voltage(300.0)
+    )
+
+
+@given(st.floats(min_value=1e-9, max_value=1e6))
+def test_area_conversions_inverse(area_mm2):
+    assert math.isclose(units.m2_to_mm2(units.mm2_to_m2(area_mm2)), area_mm2)
+
+
+def test_area_conversion_known_value():
+    # The paper's die: 244.5 mm^2.
+    assert math.isclose(units.mm2_to_m2(244.5), 2.445e-4)
+
+
+def test_si_prefixes():
+    assert units.GIGA == 1e9
+    assert units.NANO * units.GIGA == 1.0

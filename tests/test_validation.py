@@ -1,0 +1,47 @@
+"""Tests for the self-verification checklist."""
+
+import pytest
+
+from repro.cli import main
+from repro.validation import CheckResult, run_verification
+
+
+class TestRunVerification:
+    def test_analytical_checks_pass(self):
+        results = run_verification(include_experimental=False)
+        assert len(results) == 5
+        assert all(r.passed for r in results), [
+            (r.name, r.detail) for r in results if not r.passed
+        ]
+
+    def test_results_carry_details_and_timing(self):
+        results = run_verification(include_experimental=False)
+        for r in results:
+            assert r.detail
+            assert r.seconds >= 0.0
+
+    def test_experimental_group_appended(self):
+        results = run_verification(include_experimental=True, scale=0.05)
+        names = [r.name for r in results]
+        assert any("Figure 3" in n for n in names)
+        assert any("Figure 4" in n for n in names)
+        assert len(results) == 8
+
+    def test_failure_reported_not_raised(self, monkeypatch):
+        import repro.validation as validation
+
+        def broken():
+            assert False, "synthetic failure"
+
+        result = validation._check("broken", broken)
+        assert not result.passed
+        assert "synthetic failure" in result.detail
+
+
+class TestCLIVerify:
+    def test_analytical_only_exit_zero(self, capsys):
+        assert main(["verify", "--analytical-only"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "checks passed" in out
+        assert "FAIL" not in out.replace("FAILED:", "")

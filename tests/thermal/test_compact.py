@@ -1,0 +1,84 @@
+"""Tests for the lumped compact thermal model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.thermal import CompactThermalModel
+from repro.units import celsius_to_kelvin
+
+
+# Module-scoped: the model is immutable after calibration, so sharing it
+# across hypothesis examples is safe.
+@pytest.fixture(scope="module")
+def model():
+    m = CompactThermalModel(ambient_celsius=45.0)
+    m.calibrate(60.0, t1_celsius=100.0)
+    return m
+
+
+class TestCalibration:
+    def test_design_point_reproduced(self, model):
+        # One core at 60 W must sit exactly at 100 C.
+        assert model.temperature_celsius(60.0, 1) == pytest.approx(100.0)
+
+    def test_uncalibrated_use_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompactThermalModel().temperature_k(10.0, 1)
+
+    def test_bad_calibration_rejected(self):
+        m = CompactThermalModel(ambient_celsius=45.0)
+        with pytest.raises(ConfigurationError):
+            m.calibrate(0.0)
+        with pytest.raises(ConfigurationError):
+            m.calibrate(60.0, t1_celsius=45.0)
+
+    def test_spreading_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            CompactThermalModel(spreading_fraction=1.5)
+
+
+class TestTemperature:
+    def test_zero_power_is_ambient(self, model):
+        assert model.temperature_celsius(0.0, 4) == pytest.approx(45.0)
+
+    def test_monotone_in_power(self, model):
+        t_low = model.temperature_k(10.0, 4)
+        t_high = model.temperature_k(20.0, 4)
+        assert t_high > t_low
+
+    def test_spreading_over_more_cores_is_cooler(self, model):
+        # Same total power over more active cores lowers local density.
+        t_concentrated = model.temperature_k(60.0, 1)
+        t_spread = model.temperature_k(60.0, 16)
+        assert t_spread < t_concentrated
+
+    def test_full_chip_at_per_core_design_power_stays_moderate(self, model):
+        # 16 cores each at the single-core design power: temperature rises
+        # mostly through the package term, far less than 16x.
+        t16 = model.temperature_celsius(16 * 60.0, 16)
+        assert 100.0 < t16  # hotter than one core...
+        rise_16 = t16 - 45.0
+        rise_1 = 55.0
+        assert rise_16 < 16 * rise_1  # ...but sublinear in total power
+
+    def test_invalid_queries(self, model):
+        with pytest.raises(ConfigurationError):
+            model.temperature_k(-1.0, 2)
+        with pytest.raises(ConfigurationError):
+            model.temperature_k(1.0, 0)
+
+    @given(
+        watts=st.floats(min_value=0.0, max_value=500.0),
+        n=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=50)
+    def test_never_below_ambient(self, model, watts, n):
+        assert model.temperature_k(watts, n) >= celsius_to_kelvin(45.0) - 1e-9
+
+    @given(n=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=32)
+    def test_monotone_in_active_cores(self, model, n):
+        # At fixed total power, more active cores never raises temperature.
+        if n > 1:
+            assert model.temperature_k(60.0, n) <= model.temperature_k(60.0, n - 1)

@@ -1,0 +1,136 @@
+"""Tests for the RC thermal network solvers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.thermal import Block, Floorplan, ThermalRCNetwork
+from repro.thermal.rcnetwork import ThermalMaterial
+from repro.units import celsius_to_kelvin
+
+AMBIENT = celsius_to_kelvin(45.0)
+
+
+def two_block_plan():
+    return Floorplan(
+        blocks=(
+            Block("hot", 0, 0, 1e-3, 1e-3),
+            Block("cold", 1e-3, 0, 1e-3, 1e-3),
+        )
+    )
+
+
+class TestSteadyState:
+    def test_zero_power_is_ambient(self):
+        network = ThermalRCNetwork(two_block_plan())
+        temps = network.steady_state({}, AMBIENT)
+        for t in temps.values():
+            assert t == pytest.approx(AMBIENT)
+
+    def test_temperatures_above_ambient_with_power(self):
+        network = ThermalRCNetwork(two_block_plan())
+        temps = network.steady_state({"hot": 10.0}, AMBIENT)
+        assert temps["hot"] > AMBIENT
+        assert temps["cold"] > AMBIENT  # lateral coupling spreads heat
+
+    def test_powered_block_is_hottest(self):
+        network = ThermalRCNetwork(two_block_plan())
+        temps = network.steady_state({"hot": 10.0}, AMBIENT)
+        assert temps["hot"] > temps["cold"]
+
+    def test_linearity_in_power(self):
+        network = ThermalRCNetwork(two_block_plan())
+        t1 = network.steady_state({"hot": 5.0}, AMBIENT)
+        t2 = network.steady_state({"hot": 10.0}, AMBIENT)
+        rise1 = t1["hot"] - AMBIENT
+        rise2 = t2["hot"] - AMBIENT
+        assert rise2 == pytest.approx(2.0 * rise1)
+
+    def test_energy_balance(self):
+        # Total heat into ambient equals total power injected.
+        network = ThermalRCNetwork(two_block_plan())
+        power = {"hot": 7.0, "cold": 3.0}
+        temps = network.steady_state(power, AMBIENT)
+        total_out = sum(
+            (temps[name] - AMBIENT) * network._vertical_conductance(name)
+            for name in temps
+        )
+        assert total_out == pytest.approx(10.0, rel=1e-9)
+
+    def test_unknown_block_rejected(self):
+        network = ThermalRCNetwork(two_block_plan())
+        with pytest.raises(ConfigurationError):
+            network.steady_state({"nope": 1.0}, AMBIENT)
+
+    def test_negative_power_rejected(self):
+        network = ThermalRCNetwork(two_block_plan())
+        with pytest.raises(ConfigurationError):
+            network.steady_state({"hot": -1.0}, AMBIENT)
+
+    def test_vertical_scale_raises_temperature(self):
+        base = ThermalRCNetwork(two_block_plan())
+        insulated = base.with_vertical_scale(2.0)
+        t_base = base.steady_state({"hot": 10.0}, AMBIENT)["hot"]
+        t_ins = insulated.steady_state({"hot": 10.0}, AMBIENT)["hot"]
+        assert t_ins > t_base
+
+    @given(watts=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=25)
+    def test_temperature_never_below_ambient(self, watts):
+        network = ThermalRCNetwork(two_block_plan())
+        temps = network.steady_state({"hot": watts}, AMBIENT)
+        assert all(t >= AMBIENT - 1e-9 for t in temps.values())
+
+
+class TestTransient:
+    def test_converges_to_steady_state(self):
+        network = ThermalRCNetwork(two_block_plan())
+        steady = network.steady_state({"hot": 10.0}, AMBIENT)
+        transient = network.transient(
+            {"hot": 10.0}, AMBIENT, initial_k=AMBIENT, duration_s=50.0, dt_s=0.05
+        )
+        for name in steady:
+            assert transient[name] == pytest.approx(steady[name], rel=1e-3)
+
+    def test_monotone_warmup(self):
+        network = ThermalRCNetwork(two_block_plan())
+        temps = [AMBIENT]
+        state = AMBIENT
+        snapshots = []
+        for _ in range(5):
+            result = network.transient(
+                {"hot": 10.0},
+                AMBIENT,
+                initial_k=state if isinstance(state, float) else state,
+                duration_s=0.2,
+                dt_s=0.01,
+            )
+            snapshots.append(result["hot"])
+            state = result
+        assert all(b >= a for a, b in zip(snapshots, snapshots[1:]))
+
+    def test_zero_duration_returns_initial(self):
+        network = ThermalRCNetwork(two_block_plan())
+        result = network.transient(
+            {"hot": 10.0}, AMBIENT, initial_k=300.0, duration_s=0.0
+        )
+        assert result["hot"] == pytest.approx(300.0)
+
+    def test_invalid_arguments(self):
+        network = ThermalRCNetwork(two_block_plan())
+        with pytest.raises(ConfigurationError):
+            network.transient({"hot": 1.0}, AMBIENT, AMBIENT, duration_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            network.transient({"hot": 1.0}, AMBIENT, AMBIENT, 1.0, dt_s=0.0)
+
+
+class TestMaterial:
+    def test_invalid_material_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalMaterial(silicon_conductivity=-1.0)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalRCNetwork(two_block_plan(), vertical_scale=0.0)

@@ -1,0 +1,88 @@
+"""Tests for the automatic workload calibrator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads import workload_by_name
+from repro.workloads.calibrate import (
+    CalibrationResult,
+    Signature,
+    SignatureTarget,
+    calibrate_workload,
+    measure_signature,
+)
+
+
+class TestSignatureTarget:
+    def test_loss_zero_at_target(self):
+        target = SignatureTarget(eps_high=0.7, stall1=0.4, l1_miss1=0.05)
+        assert target.loss(Signature(0.7, 0.4, 0.05)) == pytest.approx(0.0)
+
+    def test_loss_grows_with_distance(self):
+        target = SignatureTarget(eps_high=0.7)
+        near = target.loss(Signature(0.65, 0.0, 0.0))
+        far = target.loss(Signature(0.40, 0.0, 0.0))
+        assert far > near > 0
+
+    def test_unconstrained_fields_ignored(self):
+        target = SignatureTarget(stall1=0.5)
+        a = target.loss(Signature(0.1, 0.5, 0.9))
+        b = target.loss(Signature(0.9, 0.5, 0.0))
+        assert a == pytest.approx(b) == pytest.approx(0.0)
+
+    def test_weights(self):
+        heavy = SignatureTarget(eps_high=0.5, weights=(10.0, 1.0, 1.0))
+        light = SignatureTarget(eps_high=0.5, weights=(1.0, 1.0, 1.0))
+        signature = Signature(0.6, 0.0, 0.0)
+        assert heavy.loss(signature) == pytest.approx(10 * light.loss(signature))
+
+
+class TestMeasure:
+    def test_measures_known_model(self):
+        signature = measure_signature(
+            workload_by_name("FMM").spec, n_high=4, scale=0.05
+        )
+        assert 0.1 < signature.eps_high <= 1.2
+        assert 0.0 <= signature.stall1 <= 1.0
+        assert 0.0 <= signature.l1_miss1 <= 1.0
+
+    def test_deterministic(self):
+        spec = workload_by_name("Barnes").spec
+        a = measure_signature(spec, n_high=2, scale=0.05)
+        b = measure_signature(spec, n_high=2, scale=0.05)
+        assert a == b
+
+
+class TestCalibrate:
+    def test_loss_never_increases(self):
+        spec = workload_by_name("Barnes").spec
+        # Push stall1 up from its current value.
+        target = SignatureTarget(stall1=0.85, weights=(0.0, 1.0, 0.0))
+        result = calibrate_workload(
+            spec, target, iterations=2, n_high=2, scale=0.04,
+            knobs=["hot_fraction", "locality"],
+        )
+        assert isinstance(result, CalibrationResult)
+        assert result.history[-1] <= result.history[0]
+        assert result.evaluations >= 3
+
+    def test_moves_toward_memory_bound_target(self):
+        spec = workload_by_name("Water-Sp").spec  # compute-bound start
+        target = SignatureTarget(stall1=0.9, weights=(0.0, 1.0, 0.0))
+        start = measure_signature(spec, n_high=2, scale=0.04)
+        result = calibrate_workload(
+            spec, target, iterations=3, n_high=2, scale=0.04,
+            knobs=["hot_fraction", "locality"],
+        )
+        assert result.signature.stall1 > start.stall1
+        # The calibrator turned the reuse knobs down.
+        assert result.spec.hot_fraction <= spec.hot_fraction
+
+    def test_validation(self):
+        spec = workload_by_name("Barnes").spec
+        with pytest.raises(ConfigurationError):
+            calibrate_workload(spec, SignatureTarget(), iterations=0)
+        with pytest.raises(ConfigurationError):
+            calibrate_workload(
+                spec, SignatureTarget(), knobs=["not_a_knob"]
+            )

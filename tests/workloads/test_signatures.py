@@ -1,0 +1,81 @@
+"""Regression lock on each application's calibrated behavioural signature.
+
+The Figure 3 / Figure 4 reproductions depend on the twelve workload
+models keeping their tuned characters (who is compute-bound, who is
+memory-bound, who scales).  This table pins each app's headline metrics
+into bands wide enough to survive harmless refactors but tight enough to
+catch calibration drift.
+
+Metrics are measured at reduced scale (0.25) on the Table 1 machine at
+nominal V/f; all values are deterministic.  Note the bands are
+scale-specific: short runs carry more cold-start weight than the
+full-length runs the benchmarks use.
+"""
+
+import pytest
+
+from repro.sim import ChipMultiprocessor, CMPConfig
+from repro.workloads import SPLASH2
+from repro.workloads.base import WorkloadModel
+
+#: app -> (eps16 band, stall1 band, l1 miss-rate band), at scale 0.25.
+SIGNATURES = {
+    "Barnes": ((0.35, 0.62), (0.48, 0.75), (0.02, 0.10)),
+    "Cholesky": ((0.17, 0.40), (0.55, 0.80), (0.03, 0.11)),
+    "FFT": ((0.50, 0.78), (0.75, 0.95), (0.08, 0.20)),
+    "FMM": ((0.35, 0.62), (0.15, 0.45), (0.005, 0.06)),
+    "LU": ((0.42, 0.70), (0.52, 0.80), (0.01, 0.08)),
+    "Ocean": ((0.48, 0.76), (0.70, 0.93), (0.05, 0.18)),
+    "Radiosity": ((0.10, 0.32), (0.50, 0.80), (0.03, 0.12)),
+    "Radix": ((0.52, 0.80), (0.80, 0.99), (0.15, 0.40)),
+    "Raytrace": ((0.09, 0.30), (0.48, 0.78), (0.03, 0.11)),
+    "Volrend": ((0.12, 0.35), (0.38, 0.68), (0.02, 0.10)),
+    "Water-Nsq": ((0.35, 0.62), (0.25, 0.55), (0.01, 0.07)),
+    "Water-Sp": ((0.38, 0.66), (0.18, 0.48), (0.005, 0.06)),
+}
+
+
+def _measure(model):
+    short = WorkloadModel(model.spec.scaled(0.25))
+    times = {}
+    one = None
+    for n in (1, 16):
+        chip = ChipMultiprocessor(CMPConfig())
+        result = chip.run(
+            [short.thread_ops(t, n) for t in range(n)],
+            short.core_timing(),
+            warmup_barriers=short.warmup_barriers,
+        )
+        times[n] = result.execution_time_ps
+        if n == 1:
+            one = result
+    eps16 = times[1] / (16 * times[16])
+    return eps16, one.memory_stall_fraction(), one.l1_miss_rate()
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return {model.name: _measure(model) for model in SPLASH2}
+
+
+@pytest.mark.parametrize("name", list(SIGNATURES), ids=str)
+def test_signature_bands(name, measurements):
+    eps_band, stall_band, miss_band = SIGNATURES[name]
+    eps16, stall1, miss1 = measurements[name]
+    assert eps_band[0] <= eps16 <= eps_band[1], f"eps16 = {eps16:.3f}"
+    assert stall_band[0] <= stall1 <= stall_band[1], f"stall1 = {stall1:.3f}"
+    assert miss_band[0] <= miss1 <= miss_band[1], f"l1 miss = {miss1:.3f}"
+
+
+def test_relative_orderings(measurements):
+    """The cross-app orderings the paper's narrative depends on."""
+    eps = {name: m[0] for name, m in measurements.items()}
+    stall = {name: m[1] for name, m in measurements.items()}
+
+    # Scalability: the good scalers clearly beat the limited ones.
+    assert min(eps["FMM"], eps["Water-Sp"]) > max(
+        eps["Cholesky"], eps["Volrend"], eps["Raytrace"]
+    )
+    # Memory-boundedness: Radix is the extreme; FMM the opposite pole.
+    assert stall["Radix"] == max(stall.values())
+    assert stall["FMM"] == min(stall.values())

@@ -1,0 +1,110 @@
+"""Tests for the SPLASH-2 application models and the microbenchmark."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import ChipMultiprocessor, CMPConfig
+from repro.workloads import SPLASH2, max_power_microbenchmark, workload_by_name
+from repro.workloads.base import WorkloadModel
+
+#: Table 2's application list, in order.
+TABLE2_NAMES = [
+    "Barnes",
+    "Cholesky",
+    "FFT",
+    "FMM",
+    "LU",
+    "Ocean",
+    "Radiosity",
+    "Radix",
+    "Raytrace",
+    "Volrend",
+    "Water-Nsq",
+    "Water-Sp",
+]
+
+
+class TestSuite:
+    def test_all_twelve_applications(self):
+        assert [m.name for m in SPLASH2] == TABLE2_NAMES
+
+    def test_lookup_case_insensitive(self):
+        assert workload_by_name("fmm").name == "FMM"
+        assert workload_by_name("WATER-SP").name == "Water-Sp"
+
+    def test_unknown_application(self):
+        with pytest.raises(ConfigurationError):
+            workload_by_name("linpack")
+
+    def test_problem_sizes_quote_table2(self):
+        assert workload_by_name("LU").spec.problem_size.startswith("512x512")
+        assert workload_by_name("Radix").spec.problem_size.startswith("1M integers")
+        assert workload_by_name("Ocean").spec.problem_size == "514x514 ocean"
+
+    def test_power_of_two_restrictions(self):
+        assert workload_by_name("FFT").spec.power_of_two_only
+        assert workload_by_name("Ocean").spec.power_of_two_only
+        assert workload_by_name("Radix").spec.power_of_two_only
+        assert not workload_by_name("Cholesky").spec.power_of_two_only
+
+    def test_fmm_is_most_compute_intensive(self):
+        # Section 4.2 orders FMM > Cholesky > Radix by computational
+        # intensity; the reuse knobs (hot set, locality) order that way,
+        # and FMM touches memory least.
+        fmm = workload_by_name("FMM").spec
+        cholesky = workload_by_name("Cholesky").spec
+        radix = workload_by_name("Radix").spec
+        assert fmm.mem_ratio < cholesky.mem_ratio
+        assert fmm.hot_fraction > cholesky.hot_fraction > radix.hot_fraction
+        assert fmm.locality > cholesky.locality > radix.locality
+
+
+def run_short(model: WorkloadModel, n: int):
+    short = WorkloadModel(model.spec.scaled(0.06))
+    chip = ChipMultiprocessor(CMPConfig())
+    return chip.run(
+        [short.thread_ops(t, n) for t in range(n)],
+        short.core_timing(),
+        warmup_barriers=short.warmup_barriers,
+    )
+
+
+class TestBehaviouralSignatures:
+    def test_every_app_simulates_on_4_cores(self):
+        for model in SPLASH2:
+            result = run_short(model, 4)
+            assert result.execution_time_ps > 0
+            assert result.total_instructions > 0
+
+    def test_radix_more_memory_bound_than_fmm(self):
+        radix = run_short(workload_by_name("Radix"), 1)
+        fmm = run_short(workload_by_name("FMM"), 1)
+        assert radix.memory_stall_fraction() > fmm.memory_stall_fraction()
+        assert radix.l1_miss_rate() > fmm.l1_miss_rate()
+
+    def test_lock_heavy_apps_contend(self):
+        radiosity = run_short(workload_by_name("Radiosity"), 4)
+        assert radiosity.lock_acquires > 0
+
+
+class TestMicrobenchmark:
+    def test_l1_resident(self):
+        ubench = max_power_microbenchmark(total_instructions=30_000)
+        chip = ChipMultiprocessor(CMPConfig())
+        result = chip.run(
+            [ubench.thread_ops(0, 1)],
+            ubench.core_timing(),
+            warmup_barriers=ubench.warmup_barriers,
+        )
+        assert result.l1_miss_rate() < 0.01
+        assert result.memory_stall_fraction() < 0.05
+
+    def test_low_cpi(self):
+        ubench = max_power_microbenchmark(total_instructions=30_000)
+        chip = ChipMultiprocessor(CMPConfig())
+        result = chip.run(
+            [ubench.thread_ops(0, 1)],
+            ubench.core_timing(),
+            warmup_barriers=ubench.warmup_barriers,
+        )
+        assert result.average_cpi < 0.7

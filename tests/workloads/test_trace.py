@@ -1,0 +1,154 @@
+"""Tests for trace recording and replay."""
+
+import gzip
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import ChipMultiprocessor, CMPConfig
+from repro.sim.ops import OP_BARRIER, OP_COMPUTE, OP_CRITICAL, OP_LOAD, OP_STORE
+from repro.workloads import workload_by_name
+from repro.workloads.base import WorkloadModel
+from repro.workloads.trace import TraceWorkload, record_trace
+
+
+@pytest.fixture()
+def short_model():
+    return WorkloadModel(workload_by_name("Barnes").spec.scaled(0.02))
+
+
+class TestRecord:
+    def test_records_all_ops(self, short_model, tmp_path):
+        path = tmp_path / "barnes.trace"
+        written = record_trace(short_model, 2, path)
+        trace = TraceWorkload(path)
+        assert trace.operation_count() == written
+        assert trace.n_threads == 2
+
+    def test_gzip_round_trip(self, short_model, tmp_path):
+        path = tmp_path / "barnes.trace.gz"
+        record_trace(short_model, 2, path)
+        # It really is gzip on disk.
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().startswith("!threads")
+        trace = TraceWorkload(path)
+        assert trace.operation_count() > 0
+
+    def test_per_thread_sequences_preserved(self, short_model, tmp_path):
+        path = tmp_path / "t.trace"
+        record_trace(short_model, 2, path)
+        trace = TraceWorkload(path)
+        for tid in range(2):
+            original = list(short_model.thread_ops(tid, 2))
+            replayed = list(trace.thread_ops(tid, 2))
+            assert replayed == original
+
+    def test_timing_header_round_trips(self, short_model, tmp_path):
+        path = tmp_path / "t.trace"
+        record_trace(short_model, 1, path)
+        trace = TraceWorkload(path)
+        original = short_model.core_timing()
+        replayed = trace.core_timing()
+        assert replayed.base_cpi == original.base_cpi
+        assert replayed.memory_parallelism == original.memory_parallelism
+
+
+class TestReplaySimulation:
+    def test_replay_matches_original_exactly(self, short_model, tmp_path):
+        path = tmp_path / "replay.trace"
+        record_trace(short_model, 2, path)
+        trace = TraceWorkload(path)
+
+        def simulate(workload):
+            chip = ChipMultiprocessor(CMPConfig())
+            return chip.run(
+                [workload.thread_ops(t, 2) for t in range(2)],
+                workload.core_timing(),
+            )
+
+        original = simulate(short_model)
+        replayed = simulate(trace)
+        assert replayed.execution_time_ps == original.execution_time_ps
+        assert replayed.coherence.l1_misses == original.coherence.l1_misses
+        assert replayed.total_instructions == original.total_instructions
+
+    def test_wrong_thread_count_rejected(self, short_model, tmp_path):
+        path = tmp_path / "t.trace"
+        record_trace(short_model, 2, path)
+        trace = TraceWorkload(path)
+        assert not trace.supports(4)
+        assert trace.supported_thread_counts((1, 2, 4)) == [2]
+        with pytest.raises(WorkloadError):
+            trace.thread_ops(0, 4)
+
+
+class TestHandAuthoredTraces:
+    def write(self, tmp_path, text):
+        path = tmp_path / "hand.trace"
+        path.write_text(text)
+        return path
+
+    def test_minimal_trace(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            """
+            !threads 2
+            # a comment
+            0 C 100
+            0 L 0x40
+            1 C 100
+            1 S 64
+            0 B 0
+            1 B 0
+            """,
+        )
+        trace = TraceWorkload(path)
+        ops0 = list(trace.thread_ops(0, 2))
+        assert ops0 == [(OP_COMPUTE, 100), (OP_LOAD, 0x40), (OP_BARRIER, 0)]
+        ops1 = list(trace.thread_ops(1, 2))
+        assert ops1[1] == (OP_STORE, 64)
+
+    def test_critical_section_line(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            """
+            !threads 1
+            0 X 3 40 0x999000
+            """,
+        )
+        (op,) = list(TraceWorkload(path).thread_ops(0, 1))
+        assert op == (OP_CRITICAL, 3, 40, 0x999000)
+
+    def test_simulatable(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            """
+            !threads 2
+            !timing base_cpi=0.5
+            0 C 5000
+            1 C 9000
+            0 B 0
+            1 B 0
+            """,
+        )
+        trace = TraceWorkload(path)
+        chip = ChipMultiprocessor(CMPConfig())
+        result = chip.run(
+            [trace.thread_ops(t, 2) for t in range(2)], trace.core_timing()
+        )
+        assert result.total_instructions == 14_000
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = self.write(tmp_path, "0 C 100\n")
+        with pytest.raises(WorkloadError, match="threads"):
+            TraceWorkload(path)
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = self.write(tmp_path, "!threads 1\n0 L\n")
+        with pytest.raises(WorkloadError, match=":2:"):
+            TraceWorkload(path)
+
+    def test_out_of_range_thread_rejected(self, tmp_path):
+        path = self.write(tmp_path, "!threads 1\n3 C 10\n")
+        with pytest.raises(WorkloadError):
+            TraceWorkload(path)
