@@ -11,6 +11,12 @@ Installed behaviours (also reachable via ``python -m repro``):
 
 The experimental commands accept ``--scale`` to trade run length for
 fidelity (1.0 = the calibrated default run length).
+
+The sweep-shaped commands (``fig1``–``fig4``, ``characterize``) also
+accept ``--jobs N`` to fan independent sweep points out over N worker
+processes, and ``--cache DIR`` to memoize completed points on disk so a
+re-run only simulates points whose configuration changed
+(``--no-cache`` disables a configured cache for one invocation).
 """
 
 from __future__ import annotations
@@ -42,6 +48,55 @@ def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent sweep points (default: 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="memoize completed sweep points in DIR (default: no cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache for this invocation (recompute everything)",
+    )
+
+
+def _executor_from_args(args):
+    from repro.harness.executor import ResultCache, SweepExecutor
+
+    cache = None
+    if args.cache and not args.no_cache:
+        cache = ResultCache(args.cache)
+    return SweepExecutor(jobs=args.jobs, cache=cache)
+
+
+def _print_executor_summary(executor) -> None:
+    stats = executor.stats
+    if executor.cache is not None or stats.failures:
+        print(
+            f"[executor] {stats.evaluated} evaluated, "
+            f"{stats.cache_hits} cache hits, {stats.failures} failures"
+        )
+
+
 def _add_apps_argument(parser: argparse.ArgumentParser, default: Sequence[str]) -> None:
     parser.add_argument(
         "--apps",
@@ -63,22 +118,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig1 = commands.add_parser("fig1", help="analytical Figure 1")
     _add_tech_argument(fig1)
+    _add_executor_arguments(fig1)
 
     fig2 = commands.add_parser("fig2", help="analytical Figure 2")
     _add_tech_argument(fig2)
+    _add_executor_arguments(fig2)
 
     fig3 = commands.add_parser("fig3", help="experimental Figure 3")
     _add_apps_argument(fig3, ("FMM", "LU", "Ocean", "Cholesky", "Radix"))
     _add_scale_argument(fig3)
+    _add_executor_arguments(fig3)
 
     fig4 = commands.add_parser("fig4", help="experimental Figure 4")
     _add_apps_argument(fig4, ("FMM", "Cholesky", "Radix"))
     _add_scale_argument(fig4)
+    _add_executor_arguments(fig4)
 
     characterize = commands.add_parser(
         "characterize", help="workload-model signatures"
     )
     _add_scale_argument(characterize)
+    _add_executor_arguments(characterize)
 
     commands.add_parser("info", help="machine and suite summary")
 
@@ -116,7 +176,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_fig1(args) -> int:
     chip = AnalyticalChipModel(technology_by_name(args.tech))
-    curves = figure1_sweep(chip, efficiency_points=41)
+    executor = _executor_from_args(args)
+    curves = figure1_sweep(chip, efficiency_points=41, executor=executor)
     rows = []
     for curve in curves:
         pairs = list(zip(curve.efficiencies, curve.normalized_power))
@@ -130,12 +191,14 @@ def _cmd_fig1(args) -> int:
             title=f"Figure 1 ({args.tech}): normalized power at iso-performance",
         )
     )
+    _print_executor_summary(executor)
     return 0
 
 
 def _cmd_fig2(args) -> int:
     chip = AnalyticalChipModel(technology_by_name(args.tech))
-    curve = figure2_sweep(chip)
+    executor = _executor_from_args(args)
+    curve = figure2_sweep(chip, executor=executor)
     print(
         render_table(
             ["N", "speedup", "regime"],
@@ -145,6 +208,7 @@ def _cmd_fig2(args) -> int:
     )
     n_peak, s_peak = curve.peak()
     print(f"peak: {s_peak:.2f}x at N = {n_peak}")
+    _print_executor_summary(executor)
     return 0
 
 
@@ -160,8 +224,9 @@ def _cmd_fig3(args) -> int:
     from repro.workloads import workload_by_name
 
     context = _experimental_context(args.scale)
+    executor = _executor_from_args(args)
     models = [workload_by_name(app) for app in args.apps]
-    results = run_scenario1(context, models)
+    results = run_scenario1(context, models, executor=executor)
     rows = [
         [
             app,
@@ -182,6 +247,7 @@ def _cmd_fig3(args) -> int:
             title="Figure 3: experimental Scenario I",
         )
     )
+    _print_executor_summary(executor)
     return 0
 
 
@@ -190,9 +256,10 @@ def _cmd_fig4(args) -> int:
     from repro.workloads import workload_by_name
 
     context = _experimental_context(args.scale)
+    executor = _executor_from_args(args)
     models = [workload_by_name(app) for app in args.apps]
     results = run_scenario2(
-        context, models, core_counts=(1, 2, 4, 8, 12, 16)
+        context, models, core_counts=(1, 2, 4, 8, 12, 16), executor=executor
     )
     rows = [
         [app, r.n, r.nominal_speedup, r.actual_speedup, r.frequency_hz / 1e9, r.power_w]
@@ -206,26 +273,38 @@ def _cmd_fig4(args) -> int:
             title="Figure 4: speedup under the 1-core power budget",
         )
     )
+    _print_executor_summary(executor)
     return 0
 
 
 def _cmd_characterize(args) -> int:
-    from repro.harness.profiling import profile_application
+    from functools import partial
+
+    from repro.harness.profiling import SimPointTask, sim_point_key, simulate_point
     from repro.workloads import SPLASH2
 
     context = _experimental_context(args.scale)
+    executor = _executor_from_args(args)
+    # One flat fan-out over every (application, N) profiling point.
+    tasks = [
+        SimPointTask(spec=model.spec, n=n) for model in SPLASH2 for n in (1, 16)
+    ]
+    points = executor.map_values(
+        partial(simulate_point, context),
+        tasks,
+        key_configs=[sim_point_key(context, task) for task in tasks],
+    )
     rows = []
-    for model in SPLASH2:
-        profile = profile_application(context, model, (1, 16))
-        entry = profile.entries[1]
+    for index, model in enumerate(SPLASH2):
+        one, sixteen = points[2 * index], points[2 * index + 1]
         rows.append(
             [
                 model.name,
-                entry.result.average_cpi,
-                entry.result.l1_miss_rate(),
-                entry.result.memory_stall_fraction(),
-                profile.nominal_efficiency(16),
-                entry.power.total_w,
+                one.average_cpi,
+                one.l1_miss_rate,
+                one.memory_stall_fraction,
+                one.execution_time_ps / (16 * sixteen.execution_time_ps),
+                one.total_power_w,
             ]
         )
     print(
@@ -235,6 +314,7 @@ def _cmd_characterize(args) -> int:
             title="SPLASH-2 workload models at nominal V/f",
         )
     )
+    _print_executor_summary(executor)
     return 0
 
 

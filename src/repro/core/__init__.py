@@ -47,10 +47,14 @@ from repro.core.sensitivity import (
     sensitivity_analysis,
 )
 from repro.core.sweeps import (
+    figure1_rows,
     figure1_sweep,
+    figure2_rows,
     figure2_sweep,
     Figure1Curve,
+    Figure1Row,
     Figure2Curve,
+    Figure2Row,
 )
 
 __all__ = [
@@ -82,5 +86,9 @@ __all__ = [
     "figure1_sweep",
     "figure2_sweep",
     "Figure1Curve",
+    "Figure1Row",
     "Figure2Curve",
+    "Figure2Row",
+    "figure1_rows",
+    "figure2_rows",
 ]

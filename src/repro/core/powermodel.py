@@ -132,6 +132,24 @@ class AnalyticalChipModel:
             tech.vdd_nominal, t1_k
         )
 
+    def describe(self) -> dict:
+        """The model's defining parameters, for content-addressed caching.
+
+        Covers everything the constructor accepts except a custom
+        pre-built ``thermal`` model (whose behaviour is pinned by the
+        ``p1_watts``/``t1_celsius``/``ambient_celsius`` calibration for
+        the stock compact model).
+        """
+        return {
+            "kind": "analytical-chip",
+            "tech": self.tech,
+            "n_cores_max": self.n_cores_max,
+            "p1_watts": self.p1_watts,
+            "t1_celsius": self.t1_celsius,
+            "ambient_celsius": self.ambient_celsius,
+            "leakage": self.leakage,
+        }
+
     def core_dynamic_power(self, v: float, f_hz: float) -> float:
         """Dynamic power of one active core at (V, f) — the aCV^2f term."""
         tech = self.tech

@@ -9,12 +9,18 @@ Figure 2 plots speedup versus N (1..32) under the 1-core power budget at
 ``eps_n = 1`` for both nodes.
 
 These helpers return plain data records so the benchmark harness, the
-examples, and the tests can share one implementation.
+examples, and the tests can share one implementation.  Both sweeps
+evaluate their grid points through a
+:class:`~repro.harness.executor.SweepExecutor`, so they can fan out over
+worker processes and memoize solved points; with no executor given they
+run serially and uncached, matching the historical behaviour bit for
+bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -31,6 +37,32 @@ FIGURE1_CORE_COUNTS: Tuple[int, ...] = (2, 4, 8, 16, 32)
 
 #: The core counts of Figure 2's x-axis.
 FIGURE2_CORE_COUNTS: Tuple[int, ...] = tuple(range(1, 33))
+
+
+@dataclass(frozen=True)
+class Figure1Row:
+    """One solved Figure 1 grid point (flat, storable, cacheable)."""
+
+    technology: str
+    n: int
+    eps_n: float
+    normalized_power: float
+    frequency_hz: float
+    voltage: float
+    voltage_floored: bool
+
+
+@dataclass(frozen=True)
+class Figure2Row:
+    """One solved Figure 2 grid point (flat, storable, cacheable)."""
+
+    technology: str
+    n: int
+    eps_n: float
+    speedup: float
+    regime: str
+    frequency_hz: float
+    voltage: float
 
 
 @dataclass(frozen=True)
@@ -61,22 +93,89 @@ class Figure2Curve:
         return self.core_counts[idx], self.speedups[idx]
 
 
+def _default_executor():
+    # Imported lazily: repro.core must stay importable without pulling in
+    # the full harness package (which itself imports this module).
+    from repro.harness.executor import SweepExecutor
+
+    return SweepExecutor()
+
+
+def _solve_figure1_point(chip: AnalyticalChipModel, point: Tuple[int, float]) -> Figure1Row:
+    """Worker: solve one (N, eps_n) iso-performance point."""
+    n, eps_n = point
+    solved = PowerOptimizationScenario(chip).solve(n, eps_n)
+    return Figure1Row(
+        technology=chip.tech.name,
+        n=n,
+        eps_n=solved.eps_n,
+        normalized_power=solved.normalized_power,
+        frequency_hz=solved.frequency_hz,
+        voltage=solved.voltage,
+        voltage_floored=solved.voltage_floored,
+    )
+
+
+def _solve_figure2_point(chip: AnalyticalChipModel, point: Tuple[int, float]) -> Figure2Row:
+    """Worker: solve one (N, eps_n) budget-limited point."""
+    n, eps_n = point
+    solved = PerformanceOptimizationScenario(chip).solve(n, eps_n)
+    return Figure2Row(
+        technology=chip.tech.name,
+        n=n,
+        eps_n=eps_n,
+        speedup=solved.speedup,
+        regime=solved.regime,
+        frequency_hz=solved.frequency_hz,
+        voltage=solved.voltage,
+    )
+
+
+def figure1_rows(
+    chip: AnalyticalChipModel,
+    core_counts: Sequence[int] = FIGURE1_CORE_COUNTS,
+    efficiency_points: int = 101,
+    executor=None,
+) -> List[Figure1Row]:
+    """Solve the full Figure 1 grid as one flat, input-ordered row list.
+
+    The grid is ordered curve by curve (each N, efficiencies ascending);
+    infeasible points (``N * eps_n < 1``) and the rare thermal-runaway
+    points are omitted, like the blank region in the paper.
+    """
+    executor = executor if executor is not None else _default_executor()
+    efficiency_grid = [float(e) for e in np.linspace(0.01, 1.0, efficiency_points)]
+    points = [(int(n), eps) for n in core_counts for eps in efficiency_grid]
+    chip_description = chip.describe()
+    key_configs = [
+        {"kind": "figure1-point", "chip": chip_description, "n": n, "eps_n": eps}
+        for n, eps in points
+    ]
+    outcomes = executor.map(partial(_solve_figure1_point, chip), points, key_configs)
+    return [outcome.value for outcome in outcomes if outcome.ok]
+
+
 def figure1_sweep(
     chip: AnalyticalChipModel,
     core_counts: Sequence[int] = FIGURE1_CORE_COUNTS,
     efficiency_points: int = 101,
     sample_application: EfficiencyCurve = SAMPLE_APPLICATION,
+    executor=None,
 ) -> List[Figure1Curve]:
     """Regenerate Figure 1 for one technology node.
 
     Sweeps ``eps_n`` over (0, 1] for each N; infeasible points
     (``N * eps_n < 1``) are omitted like the blank region in the paper.
     """
+    rows = figure1_rows(
+        chip, core_counts, efficiency_points=efficiency_points, executor=executor
+    )
+    by_n: Dict[int, List[Figure1Row]] = {int(n): [] for n in core_counts}
+    for row in rows:
+        by_n[row.n].append(row)
     scenario = PowerOptimizationScenario(chip)
-    efficiency_grid = np.linspace(0.01, 1.0, efficiency_points)
     curves: List[Figure1Curve] = []
     for n in core_counts:
-        solved = scenario.efficiency_sweep(n, [float(e) for e in efficiency_grid])
         mark: Optional[Tuple[float, float]] = None
         try:
             sample_eps = sample_application(n)
@@ -85,6 +184,7 @@ def figure1_sweep(
                 mark = (sample_eps, sample_point.normalized_power)
         except InfeasibleOperatingPoint:
             mark = None
+        solved = by_n[int(n)]
         curves.append(
             Figure1Curve(
                 technology=chip.tech.name,
@@ -97,17 +197,42 @@ def figure1_sweep(
     return curves
 
 
+def figure2_rows(
+    chip: AnalyticalChipModel,
+    core_counts: Sequence[int] = FIGURE2_CORE_COUNTS,
+    efficiency: EfficiencyCurve | None = None,
+    executor=None,
+) -> List[Figure2Row]:
+    """Solve one Figure 2 curve as a flat, input-ordered row list.
+
+    Core counts whose static floor power already exceeds the budget are
+    skipped, like :meth:`PerformanceOptimizationScenario.speedup_curve`.
+    """
+    executor = executor if executor is not None else _default_executor()
+    curve = efficiency or ConstantEfficiency(1.0)
+    # The efficiency curve is evaluated up front so workers never need to
+    # pickle arbitrary callables, only (N, eps_n) pairs.
+    points = [(int(n), float(curve(n))) for n in core_counts]
+    chip_description = chip.describe()
+    key_configs = [
+        {"kind": "figure2-point", "chip": chip_description, "n": n, "eps_n": eps}
+        for n, eps in points
+    ]
+    outcomes = executor.map(partial(_solve_figure2_point, chip), points, key_configs)
+    return [outcome.value for outcome in outcomes if outcome.ok]
+
+
 def figure2_sweep(
     chip: AnalyticalChipModel,
     core_counts: Sequence[int] = FIGURE2_CORE_COUNTS,
     efficiency: EfficiencyCurve | None = None,
+    executor=None,
 ) -> Figure2Curve:
     """Regenerate one Figure 2 curve (speedup vs N at eps_n = 1)."""
-    scenario = PerformanceOptimizationScenario(chip)
-    points = scenario.speedup_curve(efficiency or ConstantEfficiency(1.0), core_counts)
+    rows = figure2_rows(chip, core_counts, efficiency=efficiency, executor=executor)
     return Figure2Curve(
         technology=chip.tech.name,
-        core_counts=tuple(p.n for p in points),
-        speedups=tuple(p.speedup for p in points),
-        regimes=tuple(p.regime for p in points),
+        core_counts=tuple(p.n for p in rows),
+        speedups=tuple(p.speedup for p in rows),
+        regimes=tuple(p.regime for p in rows),
     )

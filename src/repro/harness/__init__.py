@@ -12,10 +12,27 @@
   performance-under-budget pipeline behind Figure 4.
 * :mod:`~repro.harness.tables` — plain-text rendering of the
   paper-style tables and series.
+* :mod:`~repro.harness.executor` — the parallel sweep executor and its
+  memoizing, content-addressed result cache; every experiment pipeline
+  above fans its independent points out through it.
 """
 
 from repro.harness.context import ExperimentContext
-from repro.harness.profiling import ApplicationProfile, ProfileEntry
+from repro.harness.executor import (
+    PointOutcome,
+    ResultCache,
+    SweepExecutor,
+    SweepFailure,
+    config_key,
+)
+from repro.harness.profiling import (
+    ApplicationProfile,
+    ProfileEntry,
+    SimPointRow,
+    SimPointTask,
+    profile_rows,
+    simulate_point,
+)
 from repro.harness.scenario1 import Scenario1Row, run_scenario1
 from repro.harness.scenario2 import (
     OverclockRow,
@@ -31,6 +48,7 @@ from repro.harness.percore import (
 )
 from repro.harness.designspace import (
     DesignPoint,
+    DesignRunRow,
     bus_width_variants,
     interconnect_variants,
     l2_capacity_variants,
@@ -62,8 +80,17 @@ from repro.harness.tables import render_table
 
 __all__ = [
     "ExperimentContext",
+    "SweepExecutor",
+    "ResultCache",
+    "PointOutcome",
+    "SweepFailure",
+    "config_key",
     "ApplicationProfile",
     "ProfileEntry",
+    "SimPointRow",
+    "SimPointTask",
+    "profile_rows",
+    "simulate_point",
     "Scenario1Row",
     "run_scenario1",
     "Scenario2Row",
@@ -75,6 +102,7 @@ __all__ = [
     "run_percore_dvfs",
     "run_percore_dvfs_suite",
     "DesignPoint",
+    "DesignRunRow",
     "bus_width_variants",
     "interconnect_variants",
     "l2_capacity_variants",

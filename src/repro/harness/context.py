@@ -69,6 +69,29 @@ class ExperimentContext:
         self.chip_power = ChipPowerModel(
             self.thermal, self.wattch, self.static_model, self.calibration
         )
+        #: Everything that determines a simulation's outcome, recorded at
+        #: construction time for content-addressed result caching.
+        self._fingerprint = {
+            "kind": "experiment-context",
+            "cmp_config": self.cmp_config,
+            "tech": tech,
+            "ambient_celsius": ambient_celsius,
+            "energies": energies,
+            "static_model": self.static_model,
+            "vf_step_hz": vf_step_hz,
+            "f_min_hz": f_min_hz,
+            "workload_scale": workload_scale,
+        }
+
+    def fingerprint(self) -> dict:
+        """The context's defining parameters, for result-cache keys.
+
+        Two contexts with equal fingerprints produce identical
+        simulation results, so the
+        :class:`~repro.harness.executor.ResultCache` may reuse rows
+        across them.
+        """
+        return dict(self._fingerprint)
 
     @property
     def f_nominal(self) -> float:

@@ -6,19 +6,25 @@ question: how sensitive are the conclusions to the machine itself?
 This module sweeps one architectural parameter at a time — L2 capacity,
 bus width, memory latency — and reports how an application's nominal
 efficiency and memory boundedness move, using the same simulator stack.
+
+Every (variant, core-count) run is independent, so the sweep fans them
+out through a :class:`~repro.harness.executor.SweepExecutor` and
+memoizes each run keyed on (machine config, workload spec, N) — two
+variant dictionaries that share a machine share its cached runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.harness.executor import SweepExecutor
 from repro.sim.bus import BusConfig
 from repro.sim.cache import CacheConfig
 from repro.sim.cmp import ChipMultiprocessor, CMPConfig
 from repro.sim.memory import MemoryConfig
-from repro.workloads.base import WorkloadModel
+from repro.workloads.base import WorkloadModel, WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -34,6 +40,27 @@ class DesignPoint:
     bus_utilisation: float
 
 
+@dataclass(frozen=True)
+class DesignRunRow:
+    """The flat, cacheable summary of one (machine, workload, N) run."""
+
+    n: int
+    execution_time_ps: int
+    execution_time_s: float
+    l1_miss_rate: float
+    memory_stall_fraction: float
+    bus_utilisation: float
+
+
+@dataclass(frozen=True)
+class DesignRunTask:
+    """One machine-variant simulation request."""
+
+    config: CMPConfig
+    spec: WorkloadSpec
+    n: int
+
+
 def _run(config: CMPConfig, model: WorkloadModel, n: int):
     chip = ChipMultiprocessor(config)
     return chip.run(
@@ -43,33 +70,61 @@ def _run(config: CMPConfig, model: WorkloadModel, n: int):
     )
 
 
+def _design_run(task: DesignRunTask) -> DesignRunRow:
+    """Worker: simulate one machine variant and flatten the outcome."""
+    result = _run(task.config, WorkloadModel(task.spec), task.n)
+    tn = result.execution_time_ps
+    return DesignRunRow(
+        n=task.n,
+        execution_time_ps=tn,
+        execution_time_s=result.execution_time_s,
+        l1_miss_rate=result.l1_miss_rate(),
+        memory_stall_fraction=result.memory_stall_fraction(),
+        bus_utilisation=result.bus.utilisation(tn),
+    )
+
+
 def sweep_design_parameter(
     model: WorkloadModel,
     variants: Dict[str, CMPConfig],
     n_threads: int = 8,
+    executor: Optional[SweepExecutor] = None,
 ) -> List[DesignPoint]:
     """Measure one application across labelled machine variants.
 
     Each variant runs at 1 and ``n_threads`` cores so the nominal
     efficiency (Eq. 6) is measured per machine, like the paper's
-    profiling step.
+    profiling step.  The cache key deliberately excludes the variant
+    label: renaming a variant, or listing the same machine under two
+    labels, reuses the memoized runs.
     """
     if not variants:
         raise ConfigurationError("need at least one variant")
+    executor = executor if executor is not None else SweepExecutor()
+    labels = list(variants)
+    tasks: List[DesignRunTask] = []
+    for label in labels:
+        config = variants[label]
+        tasks.append(DesignRunTask(config=config, spec=model.spec, n=1))
+        tasks.append(DesignRunTask(config=config, spec=model.spec, n=n_threads))
+    rows = executor.map_values(
+        _design_run,
+        tasks,
+        key_configs=[{"kind": "designrun", "task": task} for task in tasks],
+    )
     points: List[DesignPoint] = []
-    for label, config in variants.items():
-        t1 = _run(config, model, 1).execution_time_ps
-        result = _run(config, model, n_threads)
-        tn = result.execution_time_ps
+    for index, label in enumerate(labels):
+        t1 = rows[2 * index].execution_time_ps
+        result = rows[2 * index + 1]
         points.append(
             DesignPoint(
                 label=label,
                 n=n_threads,
                 execution_time_s=result.execution_time_s,
-                nominal_efficiency=t1 / (n_threads * tn),
-                l1_miss_rate=result.l1_miss_rate(),
-                memory_stall_fraction=result.memory_stall_fraction(),
-                bus_utilisation=result.bus.utilisation(tn),
+                nominal_efficiency=t1 / (n_threads * result.execution_time_ps),
+                l1_miss_rate=result.l1_miss_rate,
+                memory_stall_fraction=result.memory_stall_fraction,
+                bus_utilisation=result.bus_utilisation,
             )
         )
     return points

@@ -1,0 +1,501 @@
+"""Parallel sweep execution with a memoizing, content-addressed cache.
+
+Every figure in the paper is a sweep — over core count, nominal
+efficiency, technology node, or workload — and every point in such a
+sweep is independent of the others.  :class:`SweepExecutor` exploits
+that: it fans point evaluations out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (the simulator is pure
+Python, so processes, not threads, are what buys wall-clock time) and
+memoizes completed points in a content-addressed on-disk cache so that
+re-running a campaign only evaluates points whose configuration changed.
+
+Three guarantees the experiment pipelines rely on:
+
+* **Determinism** — results come back in input order with input indices,
+  regardless of process completion order, and a serial run (``jobs=1``)
+  executes the exact same evaluation function, so parallel and serial
+  campaigns are bitwise identical.
+* **Per-point error capture** — a :class:`~repro.errors.ReproError`
+  raised by one point (most commonly
+  :class:`~repro.errors.InfeasibleOperatingPoint`) does not kill the
+  campaign; it is recorded as a typed :class:`SweepFailure` row in that
+  point's :class:`PointOutcome`.  Non-library exceptions still
+  propagate — they indicate bugs, not infeasible physics.
+* **Cache safety** — cache keys are SHA-256 digests of the point's
+  canonicalised configuration plus the store's
+  :data:`~repro.harness.schema.SCHEMA_VERSION`, so mutating a point's
+  config or bumping the schema invalidates exactly the affected entries;
+  a corrupted or truncated cache file is quarantined (renamed aside) and
+  the point recomputed, never a crash.
+
+The cache persists one JSON document per point, the same
+schema-tagged layout as :mod:`repro.harness.store` uses for whole
+campaigns; values must be flat (possibly nested) dataclasses of
+JSON-representable leaves, which all the harness row types are.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError, ReproError
+from repro.harness.schema import SCHEMA_VERSION
+
+PathLike = Union[str, Path]
+
+#: Marker key of the executor's JSON value encoding.
+_KIND = "__repro__"
+
+
+# ---------------------------------------------------------------------------
+# Value codec: dataclasses / tuples / dicts <-> plain JSON.
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a result value into plain JSON-serialisable data.
+
+    Supports JSON scalars, lists, tuples, string-keyed dicts, and
+    dataclass instances (recursively).  Dataclasses are tagged with
+    their importable dotted path so :func:`decode_value` can rebuild
+    them without a central registry.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            _KIND: "dataclass",
+            "type": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                f.name: encode_value(getattr(value, f.name))
+                for f in dataclasses.fields(cls)
+            },
+        }
+    if isinstance(value, tuple):
+        return {_KIND: "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        items = []
+        for key, entry in value.items():
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"cannot cache dict with non-string key {key!r}"
+                )
+            items.append([key, encode_value(entry)])
+        return {_KIND: "dict", "items": items}
+    raise ConfigurationError(f"cannot cache value of type {type(value).__name__}")
+
+
+def _resolve_dataclass(dotted: str) -> type:
+    """Import the dataclass named by an encoded ``module.QualName`` path."""
+    if not isinstance(dotted, str) or not dotted.startswith("repro."):
+        raise ConfigurationError(f"refusing to import cached type {dotted!r}")
+    module_name, _, qualname = dotted.rpartition(".")
+    # Qualnames may nest (``Outer.Inner``); walk from the module down.
+    parts = qualname.split(".")
+    while True:
+        try:
+            obj: Any = importlib.import_module(module_name)
+            break
+        except ModuleNotFoundError:
+            module_name, _, head = module_name.rpartition(".")
+            if not module_name:
+                raise ConfigurationError(f"unknown cached type {dotted!r}")
+            parts.insert(0, head)
+    for part in parts:
+        obj = getattr(obj, part)
+    if not (isinstance(obj, type) and dataclasses.is_dataclass(obj)):
+        raise ConfigurationError(f"cached type {dotted!r} is not a dataclass")
+    return obj
+
+
+def decode_value(encoded: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if encoded is None or isinstance(encoded, (bool, int, float, str)):
+        return encoded
+    if isinstance(encoded, list):
+        return [decode_value(v) for v in encoded]
+    if isinstance(encoded, dict):
+        kind = encoded.get(_KIND)
+        if kind == "tuple":
+            return tuple(decode_value(v) for v in encoded["items"])
+        if kind == "dict":
+            return {key: decode_value(v) for key, v in encoded["items"]}
+        if kind == "dataclass":
+            cls = _resolve_dataclass(encoded["type"])
+            fields = encoded["fields"]
+            names = {f.name for f in dataclasses.fields(cls)}
+            if set(fields) != names:
+                raise ConfigurationError(
+                    f"cached {encoded['type']} fields {sorted(fields)} do not "
+                    f"match the current dataclass"
+                )
+            return cls(**{name: decode_value(v) for name, v in fields.items()})
+        raise ConfigurationError(f"malformed cache value: {encoded!r}")
+    raise ConfigurationError(f"malformed cache value: {encoded!r}")
+
+
+def _canonical(value: Any) -> Any:
+    """Like :func:`encode_value` but order-normalised for stable hashing."""
+    encoded = encode_value(value)
+
+    def normalise(node: Any) -> Any:
+        if isinstance(node, dict):
+            if node.get(_KIND) == "dict":
+                return {
+                    _KIND: "dict",
+                    "items": sorted(
+                        [[k, normalise(v)] for k, v in node["items"]]
+                    ),
+                }
+            return {key: normalise(v) for key, v in node.items()}
+        if isinstance(node, list):
+            return [normalise(v) for v in node]
+        return node
+
+    return normalise(encoded)
+
+
+def config_key(config: Any, schema_version: Optional[int] = None) -> str:
+    """Stable content hash of a point configuration.
+
+    The digest covers the canonicalised config (dataclass type names,
+    field names, and values — floats via their shortest ``repr``) plus
+    the schema version, so either kind of change yields a new key.
+    """
+    version = SCHEMA_VERSION if schema_version is None else schema_version
+    document = {"schema": version, "config": _canonical(config)}
+    blob = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Outcomes.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepFailure:
+    """A typed per-point failure (the campaign itself carries on)."""
+
+    error_type: str
+    message: str
+
+    def to_exception(self) -> ReproError:
+        """Rebuild the original library exception (best effort)."""
+        import repro.errors as errors_module
+
+        cls = getattr(errors_module, self.error_type, None)
+        if isinstance(cls, type) and issubclass(cls, ReproError):
+            return cls(self.message)
+        return ReproError(f"{self.error_type}: {self.message}")
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One sweep point's result: its value or its typed failure."""
+
+    index: int
+    key: Optional[str]
+    value: Any
+    failure: Optional[SweepFailure] = None
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point evaluated successfully."""
+        return self.failure is None
+
+    def unwrap(self) -> Any:
+        """The value; re-raises the point's library error if it failed."""
+        if self.failure is not None:
+            raise self.failure.to_exception()
+        return self.value
+
+
+# ---------------------------------------------------------------------------
+# The content-addressed cache.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Counters one :class:`ResultCache` accumulates over its lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    quarantined: int = 0
+
+
+@dataclass(frozen=True)
+class _CachedResult:
+    value: Any
+    failure: Optional[SweepFailure]
+
+
+class ResultCache:
+    """One-JSON-file-per-point persistence keyed by content hash.
+
+    The layout is flat: ``<root>/<sha256>.json``, each file a
+    schema-tagged document like the campaign store's.  Files that fail
+    to parse or validate are *quarantined* — renamed to
+    ``*.quarantined`` so the evidence survives — and treated as misses.
+    """
+
+    def __init__(
+        self, root: PathLike, schema_version: Optional[int] = None
+    ) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot use {self.root} as a cache directory: {exc}"
+            ) from exc
+        self.schema_version = (
+            SCHEMA_VERSION if schema_version is None else schema_version
+        )
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        """On-disk location of one cache entry."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[_CachedResult]:
+        """Look one key up; ``None`` on miss (including quarantined files)."""
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            self.stats.misses += 1
+            return None
+        try:
+            document = json.loads(text)
+            if not isinstance(document, dict):
+                raise ConfigurationError(f"{path}: not a cache document")
+            if document.get("schema") != self.schema_version:
+                raise ConfigurationError(
+                    f"{path}: schema {document.get('schema')!r} != "
+                    f"supported {self.schema_version}"
+                )
+            if document.get("key") != key:
+                raise ConfigurationError(f"{path}: key mismatch")
+            status = document.get("status")
+            if status == "ok":
+                result = _CachedResult(
+                    value=decode_value(document["value"]), failure=None
+                )
+            elif status == "error":
+                error = document["error"]
+                result = _CachedResult(
+                    value=None,
+                    failure=SweepFailure(
+                        error_type=str(error["type"]),
+                        message=str(error["message"]),
+                    ),
+                )
+            else:
+                raise ConfigurationError(f"{path}: unknown status {status!r}")
+        except (ConfigurationError, ValueError, KeyError, TypeError,
+                AttributeError):
+            self._quarantine(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, outcome: PointOutcome) -> None:
+        """Persist one evaluated point (success or typed failure)."""
+        document = {"schema": self.schema_version, "key": key}
+        if outcome.failure is None:
+            document["status"] = "ok"
+            document["value"] = encode_value(outcome.value)
+        else:
+            document["status"] = "error"
+            document["error"] = {
+                "type": outcome.failure.error_type,
+                "message": outcome.failure.message,
+            }
+        path = self.path_for(key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(document, indent=1), encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            path.rename(path.with_name(path.name + ".quarantined"))
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.stats.quarantined += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# The executor.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutorStats:
+    """Counters one :class:`SweepExecutor` accumulates across ``map`` calls."""
+
+    evaluated: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+    uncacheable: int = 0
+
+
+@dataclass(frozen=True)
+class _PointCall:
+    """Picklable wrapper that turns library errors into typed results."""
+
+    fn: Callable[[Any], Any]
+
+    def __call__(self, point: Any):
+        try:
+            return ("ok", self.fn(point))
+        except ReproError as exc:
+            return ("error", type(exc).__name__, str(exc))
+
+
+class SweepExecutor:
+    """Evaluate independent sweep points, in parallel, through a cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) evaluates inline in the
+        calling process — no pool, no pickling — which is also the
+        reference semantics the parallel path must match bitwise.
+    cache:
+        Optional :class:`ResultCache`.  Points are only memoized when the
+        caller also supplies ``key_configs`` (it alone knows which inputs
+        determine a point's value).
+    chunksize:
+        Points per pickled work batch; defaults to roughly four batches
+        per worker.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        if chunksize is not None and chunksize < 1:
+            raise ConfigurationError("chunksize must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+        self.chunksize = chunksize
+        self.stats = ExecutorStats()
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        points: Iterable[Any],
+        key_configs: Optional[Iterable[Any]] = None,
+    ) -> List[PointOutcome]:
+        """Evaluate ``fn`` over ``points``; outcomes in input order.
+
+        ``fn`` must be picklable for ``jobs > 1`` (a module-level
+        function or a :func:`functools.partial` of one).  ``key_configs``
+        — one hashable config per point — opts the call into the cache.
+        """
+        point_list = list(points)
+        keys: List[Optional[str]] = [None] * len(point_list)
+        use_cache = self.cache is not None and key_configs is not None
+        if key_configs is not None:
+            config_list = list(key_configs)
+            if len(config_list) != len(point_list):
+                raise ConfigurationError(
+                    f"{len(config_list)} key configs for "
+                    f"{len(point_list)} points"
+                )
+            if use_cache:
+                keys = [
+                    config_key(config, self.cache.schema_version)
+                    for config in config_list
+                ]
+
+        outcomes: List[Optional[PointOutcome]] = [None] * len(point_list)
+        pending: List[int] = []
+        for index in range(len(point_list)):
+            if use_cache:
+                entry = self.cache.get(keys[index])
+                if entry is not None:
+                    outcomes[index] = PointOutcome(
+                        index=index,
+                        key=keys[index],
+                        value=entry.value,
+                        failure=entry.failure,
+                        cached=True,
+                    )
+                    self.stats.cache_hits += 1
+                    if entry.failure is not None:
+                        self.stats.failures += 1
+                    continue
+            pending.append(index)
+
+        if pending:
+            call = _PointCall(fn)
+            todo = [point_list[i] for i in pending]
+            if self.jobs == 1 or len(pending) == 1:
+                raw = [call(point) for point in todo]
+            else:
+                workers = min(self.jobs, len(pending))
+                chunk = self.chunksize or max(
+                    1, len(pending) // (workers * 4)
+                )
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    raw = list(pool.map(call, todo, chunksize=chunk))
+            for index, result in zip(pending, raw):
+                self.stats.evaluated += 1
+                if result[0] == "ok":
+                    outcome = PointOutcome(
+                        index=index, key=keys[index], value=result[1]
+                    )
+                else:
+                    outcome = PointOutcome(
+                        index=index,
+                        key=keys[index],
+                        value=None,
+                        failure=SweepFailure(
+                            error_type=result[1], message=result[2]
+                        ),
+                    )
+                    self.stats.failures += 1
+                if use_cache:
+                    try:
+                        self.cache.put(keys[index], outcome)
+                    except ConfigurationError:
+                        self.stats.uncacheable += 1
+                outcomes[index] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def map_values(
+        self,
+        fn: Callable[[Any], Any],
+        points: Iterable[Any],
+        key_configs: Optional[Iterable[Any]] = None,
+    ) -> List[Any]:
+        """Like :meth:`map` but unwraps values, re-raising any failure."""
+        return [o.unwrap() for o in self.map(fn, points, key_configs)]

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.harness.executor import SweepExecutor
 from repro.workloads.base import WorkloadModel
 
 
@@ -72,15 +73,22 @@ def replicate(
     experiment: Callable[[WorkloadModel], float],
     n_replicas: int = 5,
     metric: str = "metric",
+    executor: Optional[SweepExecutor] = None,
 ) -> ReplicationSummary:
     """Run ``experiment`` on ``n_replicas`` re-seeded copies of a workload.
 
     ``experiment`` maps a workload model to one scalar (e.g. "nominal
-    efficiency at 16 cores" or "normalized power at N = 8").
+    efficiency at 16 cores" or "normalized power at N = 8").  Replicas
+    are independent, so an executor with ``jobs > 1`` runs them
+    concurrently — ``experiment`` must then be picklable (a module-level
+    function or a partial of one).  Replica results are not memoized:
+    the cache cannot see inside an arbitrary callable.
     """
     if n_replicas < 1:
         raise ConfigurationError("need at least one replica")
-    samples: List[float] = []
-    for replica in range(n_replicas):
-        samples.append(float(experiment(reseeded(model, replica))))
+    replicas = [reseeded(model, replica) for replica in range(n_replicas)]
+    if executor is None:
+        samples = [float(experiment(replica)) for replica in replicas]
+    else:
+        samples = [float(v) for v in executor.map_values(experiment, replicas)]
     return ReplicationSummary(metric=metric, samples=tuple(samples))

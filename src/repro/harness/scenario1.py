@@ -15,16 +15,30 @@ The paper's pipeline, reproduced step by step:
 Actual speedups can exceed 1 (most visibly for memory-bound codes):
 chip DVFS does not slow the 75 ns memory, so the processor-memory gap
 narrows — the effect the analytical model cannot capture.
+
+Both stages run through a
+:class:`~repro.harness.executor.SweepExecutor`: the nominal profiling
+points of *all* applications fan out together, then all the scaled
+re-simulations do.  Every point is memoized, so re-running a campaign
+whose configurations have not changed simulates nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from functools import partial
+from typing import Dict, List, Optional, Sequence
 
+from repro.errors import ConfigurationError
 from repro.harness.context import ExperimentContext
-from repro.harness.profiling import ApplicationProfile, profile_application
-from repro.workloads.base import WorkloadModel
+from repro.harness.executor import SweepExecutor
+from repro.harness.profiling import (
+    SimPointRow,
+    SimPointTask,
+    sim_point_key,
+    simulate_point,
+)
+from repro.workloads.base import WorkloadModel, WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -43,66 +57,138 @@ class Scenario1Row:
     total_power_w: float
 
 
+@dataclass(frozen=True)
+class Scenario1Task:
+    """One scaled re-simulation with its profile-derived inputs.
+
+    The baseline numbers ride along so the worker can normalise without
+    a second look at the profile — and so the cache key covers every
+    input the row depends on.
+    """
+
+    spec: WorkloadSpec
+    n: int
+    nominal_efficiency: float
+    frequency_hz: float
+    voltage: float
+    t1_ps: int
+    base_power_w: float
+    base_density_w_m2: float
+
+
+def _scenario1_point(context: ExperimentContext, task: Scenario1Task) -> Scenario1Row:
+    """Worker: re-simulate one configuration at its Eq. 7 operating point."""
+    model = WorkloadModel(task.spec)
+    result, power = context.run(model, task.n, task.frequency_hz, task.voltage)
+    return Scenario1Row(
+        app=task.spec.name,
+        n=task.n,
+        nominal_efficiency=task.nominal_efficiency,
+        actual_speedup=task.t1_ps / result.execution_time_ps,
+        normalized_power=power.total_w / task.base_power_w,
+        normalized_power_density=(
+            power.core_power_density_w_m2 / task.base_density_w_m2
+        ),
+        average_temperature_c=power.average_temperature_c,
+        frequency_hz=task.frequency_hz,
+        voltage=task.voltage,
+        total_power_w=power.total_w,
+    )
+
+
 def run_scenario1(
     context: ExperimentContext,
     models: Sequence[WorkloadModel],
     core_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, List[Scenario1Row]]:
-    """The Figure 3 experiment for a set of applications."""
+    """The Figure 3 experiment for a set of applications.
+
+    Points that fail with a library error (e.g. an infeasible operating
+    point) are recorded by the executor as typed failures and omitted
+    from the returned rows; they never abort the campaign.
+    """
+    executor = executor if executor is not None else SweepExecutor()
+
+    # Stage 1: one flat fan-out over every application's nominal profile.
+    profile_tasks: List[SimPointTask] = []
+    supported: Dict[str, List[int]] = {}
+    for model in models:
+        counts = model.supported_thread_counts(core_counts)
+        supported[model.name] = counts
+        profile_tasks.extend(SimPointTask(spec=model.spec, n=n) for n in counts)
+    profile_rows_list = executor.map_values(
+        partial(simulate_point, context),
+        profile_tasks,
+        key_configs=[sim_point_key(context, task) for task in profile_tasks],
+    )
+    profiles: Dict[str, Dict[int, SimPointRow]] = {m.name: {} for m in models}
+    for task, row in zip(profile_tasks, profile_rows_list):
+        profiles[task.spec.name][task.n] = row
+
+    # Stage 2: every scaled re-simulation, across all applications.
+    scaled_tasks: List[Scenario1Task] = []
+    for model in models:
+        entries = profiles[model.name]
+        if 1 not in entries:
+            raise ConfigurationError(
+                f"{model.name}: the 1-core baseline is required"
+            )
+        baseline = entries[1]
+        for n in sorted(entries):
+            if n == 1:
+                continue
+            tn = entries[n].execution_time_ps
+            eps_n = baseline.execution_time_ps / (n * tn)
+            # Eq. 7, clamped to the chip's legal frequency range (no
+            # overclocking even when N * eps < 1; no scaling below
+            # 200 MHz).
+            f_target = context.clamp_frequency(context.f_nominal / (n * eps_n))
+            scaled_tasks.append(
+                Scenario1Task(
+                    spec=model.spec,
+                    n=n,
+                    nominal_efficiency=eps_n,
+                    frequency_hz=f_target,
+                    voltage=context.vf_table.voltage_for_frequency(f_target),
+                    t1_ps=baseline.execution_time_ps,
+                    base_power_w=baseline.total_power_w,
+                    base_density_w_m2=baseline.core_power_density_w_m2,
+                )
+            )
+    outcomes = executor.map(
+        partial(_scenario1_point, context),
+        scaled_tasks,
+        key_configs=[
+            {"kind": "scenario1", "context": context.fingerprint(), "task": task}
+            for task in scaled_tasks
+        ],
+    )
+    scaled: Dict[str, Dict[int, Scenario1Row]] = {m.name: {} for m in models}
+    for task, outcome in zip(scaled_tasks, outcomes):
+        if outcome.ok:
+            scaled[task.spec.name][task.n] = outcome.value
+
     results: Dict[str, List[Scenario1Row]] = {}
     for model in models:
-        profile = profile_application(context, model, core_counts)
-        results[model.name] = _scenario1_for_profile(context, model, profile)
-    return results
-
-
-def _scenario1_for_profile(
-    context: ExperimentContext,
-    model: WorkloadModel,
-    profile: ApplicationProfile,
-) -> List[Scenario1Row]:
-    baseline = profile.entries[1]
-    base_power = baseline.power.total_w
-    base_density = baseline.power.core_power_density_w_m2
-    t1 = baseline.execution_time_ps
-
-    rows = [
-        Scenario1Row(
-            app=model.name,
-            n=1,
-            nominal_efficiency=1.0,
-            actual_speedup=1.0,
-            normalized_power=1.0,
-            normalized_power_density=1.0,
-            average_temperature_c=baseline.power.average_temperature_c,
-            frequency_hz=context.f_nominal,
-            voltage=context.vf_table.voltage_for_frequency(context.f_nominal),
-            total_power_w=base_power,
-        )
-    ]
-    for n in profile.core_counts():
-        if n == 1:
-            continue
-        eps_n = profile.nominal_efficiency(n)
-        # Eq. 7, clamped to the chip's legal frequency range (no
-        # overclocking even when N * eps < 1; no scaling below 200 MHz).
-        f_target = context.clamp_frequency(context.f_nominal / (n * eps_n))
-        voltage = context.vf_table.voltage_for_frequency(f_target)
-        result, power = context.run(model, n, f_target, voltage)
-        rows.append(
+        baseline = profiles[model.name][1]
+        rows = [
             Scenario1Row(
                 app=model.name,
-                n=n,
-                nominal_efficiency=eps_n,
-                actual_speedup=t1 / result.execution_time_ps,
-                normalized_power=power.total_w / base_power,
-                normalized_power_density=(
-                    power.core_power_density_w_m2 / base_density
-                ),
-                average_temperature_c=power.average_temperature_c,
-                frequency_hz=f_target,
-                voltage=voltage,
-                total_power_w=power.total_w,
+                n=1,
+                nominal_efficiency=1.0,
+                actual_speedup=1.0,
+                normalized_power=1.0,
+                normalized_power_density=1.0,
+                average_temperature_c=baseline.average_temperature_c,
+                frequency_hz=context.f_nominal,
+                voltage=context.vf_table.voltage_for_frequency(context.f_nominal),
+                total_power_w=baseline.total_power_w,
             )
+        ]
+        rows.extend(
+            scaled[model.name][n]
+            for n in sorted(scaled[model.name])
         )
-    return rows
+        results[model.name] = rows
+    return results

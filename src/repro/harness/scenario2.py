@@ -17,16 +17,30 @@ Memory-bound applications benefit twice, as the paper observes: their
 nominal power is far below the budget (no throttling needed until high
 N), and when throttling does kick in, the fixed-latency memory narrows
 the processor-memory gap.
+
+The campaign runs through a
+:class:`~repro.harness.executor.SweepExecutor` in two fan-outs: the
+nominal profiles of all applications, then one chunky task per
+(application, N) that performs the whole budget search plus the final
+re-simulation inside the worker.  Each task's outcome is memoized, so a
+warm re-run simulates nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from repro.harness.context import ExperimentContext
-from repro.harness.profiling import profile_application
-from repro.workloads.base import WorkloadModel
+from repro.harness.executor import SweepExecutor
+from repro.harness.profiling import (
+    SimPointTask,
+    profile_application,
+    sim_point_key,
+    simulate_point,
+)
+from repro.workloads.base import WorkloadModel, WorkloadSpec
 
 
 @dataclass(frozen=True)
@@ -48,49 +62,97 @@ class Scenario2Row:
         return self.frequency_hz >= 3.2e9 - 1e6
 
 
+@dataclass(frozen=True)
+class Scenario2Task:
+    """One (application, N) budget search plus its final re-simulation."""
+
+    spec: WorkloadSpec
+    n: int
+    budget_w: float
+    t1_ps: int
+    nominal_speedup: float
+
+
+def _scenario2_point(context: ExperimentContext, task: Scenario2Task) -> Scenario2Row:
+    """Worker: find the best budget-legal frequency, then measure there."""
+    model = WorkloadModel(task.spec)
+    frequency = _best_frequency_under_budget(context, model, task.n, task.budget_w)
+    result, power = context.run(model, task.n, frequency)
+    return Scenario2Row(
+        app=task.spec.name,
+        n=task.n,
+        nominal_speedup=task.nominal_speedup,
+        actual_speedup=task.t1_ps / result.execution_time_ps,
+        frequency_hz=frequency,
+        voltage=context.vf_table.voltage_for_frequency(frequency),
+        power_w=power.total_w,
+        budget_w=task.budget_w,
+    )
+
+
 def run_scenario2(
     context: ExperimentContext,
     models: Sequence[WorkloadModel],
     core_counts: Sequence[int] = tuple(range(1, 17)),
     budget_w: Optional[float] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, List[Scenario2Row]]:
-    """The Figure 4 experiment for a set of applications."""
+    """The Figure 4 experiment for a set of applications.
+
+    Points that fail with a library error are recorded by the executor
+    as typed failures and omitted from the rows; the campaign carries
+    on.
+    """
     budget = budget_w if budget_w is not None else (
         context.calibration.max_operational_power_w
     )
-    results: Dict[str, List[Scenario2Row]] = {}
+    executor = executor if executor is not None else SweepExecutor()
+
+    # Stage 1: nominal profiles for every application, one flat fan-out.
+    profile_tasks: List[SimPointTask] = []
+    supported: Dict[str, List[int]] = {}
     for model in models:
-        results[model.name] = _scenario2_for_model(context, model, core_counts, budget)
-    return results
-
-
-def _scenario2_for_model(
-    context: ExperimentContext,
-    model: WorkloadModel,
-    core_counts: Sequence[int],
-    budget_w: float,
-) -> List[Scenario2Row]:
-    supported = model.supported_thread_counts(core_counts)
-    profile = profile_application(context, model, sorted({1, *supported}))
-    t1 = profile.entries[1].execution_time_ps
-
-    rows: List[Scenario2Row] = []
-    for n in supported:
-        frequency = _best_frequency_under_budget(context, model, n, budget_w)
-        result, power = context.run(model, n, frequency)
-        rows.append(
-            Scenario2Row(
-                app=model.name,
-                n=n,
-                nominal_speedup=profile.nominal_speedup(n),
-                actual_speedup=t1 / result.execution_time_ps,
-                frequency_hz=frequency,
-                voltage=context.vf_table.voltage_for_frequency(frequency),
-                power_w=power.total_w,
-                budget_w=budget_w,
-            )
+        counts = model.supported_thread_counts(core_counts)
+        supported[model.name] = counts
+        profile_tasks.extend(
+            SimPointTask(spec=model.spec, n=n) for n in sorted({1, *counts})
         )
-    return rows
+    profile_rows_list = executor.map_values(
+        partial(simulate_point, context),
+        profile_tasks,
+        key_configs=[sim_point_key(context, task) for task in profile_tasks],
+    )
+    times: Dict[str, Dict[int, int]] = {m.name: {} for m in models}
+    for task, row in zip(profile_tasks, profile_rows_list):
+        times[task.spec.name][task.n] = row.execution_time_ps
+
+    # Stage 2: one chunky budget-search task per (application, N).
+    tasks: List[Scenario2Task] = []
+    for model in models:
+        t1 = times[model.name][1]
+        tasks.extend(
+            Scenario2Task(
+                spec=model.spec,
+                n=n,
+                budget_w=budget,
+                t1_ps=t1,
+                nominal_speedup=t1 / times[model.name][n],
+            )
+            for n in supported[model.name]
+        )
+    outcomes = executor.map(
+        partial(_scenario2_point, context),
+        tasks,
+        key_configs=[
+            {"kind": "scenario2", "context": context.fingerprint(), "task": task}
+            for task in tasks
+        ],
+    )
+    results: Dict[str, List[Scenario2Row]] = {m.name: [] for m in models}
+    for task, outcome in zip(tasks, outcomes):
+        if outcome.ok:
+            results[task.spec.name].append(outcome.value)
+    return results
 
 
 @dataclass(frozen=True)

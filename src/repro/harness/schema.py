@@ -1,0 +1,16 @@
+"""The result-schema version shared by the store and the result cache.
+
+Both :mod:`repro.harness.store` (campaign files) and
+:mod:`repro.harness.executor` (the memoizing point cache) tag their JSON
+documents with this version and refuse documents they do not understand.
+It lives in its own leaf module so either side can import it without
+creating an import cycle.
+
+Bump it whenever a row dataclass changes incompatibly — every cached
+point is keyed on it, so a bump invalidates all memoized results at once.
+"""
+
+from __future__ import annotations
+
+#: Version of the flat row dataclasses' on-disk encoding.
+SCHEMA_VERSION = 1

@@ -15,14 +15,17 @@ import json
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
 
+from repro.core.sweeps import Figure1Row, Figure2Row
 from repro.errors import ConfigurationError
-from repro.harness.designspace import DesignPoint
+from repro.harness.designspace import DesignPoint, DesignRunRow
 from repro.harness.percore import PerCoreDVFSResult
+from repro.harness.profiling import SimPointRow
 from repro.harness.scenario1 import Scenario1Row
 from repro.harness.scenario2 import OverclockRow, Scenario2Row
 
-#: Bump when the row schemas change incompatibly.
-SCHEMA_VERSION = 1
+# Bump (in repro.harness.schema) when the row schemas change
+# incompatibly; re-exported here for backward compatibility.
+from repro.harness.schema import SCHEMA_VERSION
 
 _ROW_TYPES = {
     "scenario1": Scenario1Row,
@@ -30,11 +33,25 @@ _ROW_TYPES = {
     "overclock": OverclockRow,
     "percore": PerCoreDVFSResult,
     "designpoint": DesignPoint,
+    "designrun": DesignRunRow,
+    "simpoint": SimPointRow,
+    "figure1": Figure1Row,
+    "figure2": Figure2Row,
 }
 _TYPE_NAMES = {cls: name for name, cls in _ROW_TYPES.items()}
 
 PathLike = Union[str, Path]
-Row = Union[Scenario1Row, Scenario2Row, OverclockRow, PerCoreDVFSResult, DesignPoint]
+Row = Union[
+    Scenario1Row,
+    Scenario2Row,
+    OverclockRow,
+    PerCoreDVFSResult,
+    DesignPoint,
+    DesignRunRow,
+    SimPointRow,
+    Figure1Row,
+    Figure2Row,
+]
 
 
 def _encode_row(row: Row) -> Dict:
@@ -68,19 +85,30 @@ def _decode_row(obj: Dict) -> Row:
 
 
 def save_results(results: Dict[str, Sequence[Row]], path: PathLike) -> None:
-    """Write a campaign — named groups of rows — to ``path`` as JSON."""
+    """Write a campaign — named groups of rows — to ``path`` as JSON.
+
+    Groups are written sorted by name so the document (and therefore
+    its diff, digest, and load order) is deterministic regardless of
+    the insertion order of ``results``; rows keep their order within a
+    group.
+    """
     document = {
         "schema": SCHEMA_VERSION,
         "groups": {
-            name: [_encode_row(row) for row in rows]
-            for name, rows in results.items()
+            name: [_encode_row(row) for row in results[name]]
+            for name in sorted(results)
         },
     }
     Path(path).write_text(json.dumps(document, indent=1), encoding="utf-8")
 
 
 def load_results(path: PathLike) -> Dict[str, List[Row]]:
-    """Load a campaign previously written by :func:`save_results`."""
+    """Load a campaign previously written by :func:`save_results`.
+
+    Groups come back sorted by name (deterministic load order even for
+    hand-edited files); a schema version this library does not support
+    is rejected with a :class:`ConfigurationError` naming the file.
+    """
     try:
         document = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
@@ -89,9 +117,14 @@ def load_results(path: PathLike) -> Dict[str, List[Row]]:
         raise ConfigurationError(f"{path}: not a repro results file")
     if document["schema"] != SCHEMA_VERSION:
         raise ConfigurationError(
-            f"{path}: schema {document['schema']} != supported {SCHEMA_VERSION}"
+            f"{path}: unknown results schema {document['schema']!r}; this "
+            f"version of repro supports schema {SCHEMA_VERSION} — regenerate "
+            f"the campaign or upgrade the library"
         )
+    groups = document.get("groups", {})
+    if not isinstance(groups, dict):
+        raise ConfigurationError(f"{path}: malformed groups section")
     return {
-        name: [_decode_row(entry) for entry in entries]
-        for name, entries in document.get("groups", {}).items()
+        name: [_decode_row(entry) for entry in groups[name]]
+        for name in sorted(groups)
     }

@@ -4,9 +4,11 @@ import json
 
 import pytest
 
+from repro.core.sweeps import Figure1Row, Figure2Row
 from repro.errors import ConfigurationError
-from repro.harness.designspace import DesignPoint
+from repro.harness.designspace import DesignPoint, DesignRunRow
 from repro.harness.percore import PerCoreDVFSResult
+from repro.harness.profiling import SimPointRow
 from repro.harness.scenario1 import Scenario1Row
 from repro.harness.scenario2 import Scenario2Row
 from repro.harness.store import SCHEMA_VERSION, load_results, save_results
@@ -89,6 +91,81 @@ class TestRoundTrip:
         assert document["schema"] == SCHEMA_VERSION
         assert set(document["groups"]) == {"fig3", "fig4", "percore", "design"}
 
+    def test_sweep_and_profiling_row_types_round_trip(self, tmp_path):
+        campaign = {
+            "fig1": [
+                Figure1Row(
+                    technology="65nm",
+                    n=8,
+                    eps_n=0.8,
+                    normalized_power=0.35,
+                    frequency_hz=0.5e9,
+                    voltage=0.75,
+                    voltage_floored=False,
+                )
+            ],
+            "fig2": [
+                Figure2Row(
+                    technology="130nm",
+                    n=4,
+                    eps_n=1.0,
+                    speedup=3.1,
+                    regime="voltage-scaling",
+                    frequency_hz=2.4e9,
+                    voltage=1.2,
+                )
+            ],
+            "profile": [
+                SimPointRow(
+                    app="Ocean",
+                    n=16,
+                    frequency_hz=3.2e9,
+                    voltage=1.1,
+                    execution_time_ps=123456,
+                    total_power_w=40.0,
+                    core_power_density_w_m2=3.2e5,
+                    average_temperature_c=55.0,
+                    average_cpi=1.4,
+                    l1_miss_rate=0.06,
+                    memory_stall_fraction=0.45,
+                    bus_utilisation=0.6,
+                )
+            ],
+            "designrun": [
+                DesignRunRow(
+                    n=8,
+                    execution_time_ps=98765,
+                    execution_time_s=9.8765e-8,
+                    l1_miss_rate=0.04,
+                    memory_stall_fraction=0.3,
+                    bus_utilisation=0.5,
+                )
+            ],
+        }
+        path = tmp_path / "sweep.json"
+        save_results(campaign, path)
+        assert load_results(path) == campaign
+
+
+class TestDeterminism:
+    def test_groups_are_saved_and_loaded_sorted(self, tmp_path):
+        rows = sample_rows()
+        scrambled = {
+            name: rows[name] for name in ("percore", "fig4", "design", "fig3")
+        }
+        path = tmp_path / "c.json"
+        save_results(scrambled, path)
+        document = json.loads(path.read_text())
+        assert list(document["groups"]) == sorted(rows)
+        assert list(load_results(path)) == sorted(rows)
+
+    def test_identical_campaigns_produce_identical_bytes(self, tmp_path):
+        rows = sample_rows()
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        save_results(rows, first)
+        save_results(dict(reversed(list(rows.items()))), second)
+        assert first.read_bytes() == second.read_bytes()
+
 
 class TestValidation:
     def test_rejects_garbage(self, tmp_path):
@@ -101,6 +178,28 @@ class TestValidation:
         path = tmp_path / "old.json"
         path.write_text(json.dumps({"schema": 999, "groups": {}}))
         with pytest.raises(ConfigurationError, match="schema"):
+            load_results(path)
+
+    def test_wrong_schema_error_names_file_and_versions(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema": 999, "groups": {}}))
+        with pytest.raises(ConfigurationError) as excinfo:
+            load_results(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "999" in message
+        assert str(SCHEMA_VERSION) in message
+
+    def test_not_json_error_names_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ truncated")
+        with pytest.raises(ConfigurationError, match="bad.json"):
+            load_results(path)
+
+    def test_rejects_malformed_groups_section(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION, "groups": [1, 2]}))
+        with pytest.raises(ConfigurationError, match="groups"):
             load_results(path)
 
     def test_rejects_unknown_fields(self, tmp_path):

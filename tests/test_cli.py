@@ -23,6 +23,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig1", "--tech", "7nm"])
 
+    def test_executor_flags_on_sweep_commands(self):
+        for command in ("fig1", "fig2", "fig3", "fig4", "characterize"):
+            args = build_parser().parse_args(
+                [command, "--jobs", "4", "--cache", "/tmp/c", "--no-cache"]
+            )
+            assert args.jobs == 4
+            assert args.cache == "/tmp/c"
+            assert args.no_cache is True
+
+    def test_rejects_non_positive_or_non_integer_jobs(self):
+        for bad in ("0", "-2", "xyz"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["fig2", "--jobs", bad])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -62,6 +76,27 @@ class TestCommands:
         assert "## Figure 1" in document
         assert "## Figure 2" in document
         assert "wrote" in capsys.readouterr().out
+
+    def test_fig2_with_cache_runs_warm_second_time(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["fig2", "--cache", str(cache)]) == 0
+        cold = capsys.readouterr().out
+        assert "[executor] 32 evaluated, 0 cache hits" in cold
+
+        assert main(["fig2", "--cache", str(cache)]) == 0
+        warm = capsys.readouterr().out
+        assert "[executor] 0 evaluated, 32 cache hits" in warm
+        # The cache changes how rows are obtained, never what they are.
+        assert warm == cold.replace(
+            "[executor] 32 evaluated, 0 cache hits",
+            "[executor] 0 evaluated, 32 cache hits",
+        )
+
+    def test_no_cache_disables_a_configured_cache(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        assert main(["fig2", "--cache", str(cache), "--no-cache"]) == 0
+        capsys.readouterr()
+        assert not cache.exists()
 
     def test_characterize_structure(self):
         # Only parse-check: the full characterisation is exercised by
