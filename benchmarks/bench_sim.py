@@ -1,0 +1,249 @@
+"""Wall-clock benchmark of the simulation kernel: fast path vs reference.
+
+Run directly (not collected by pytest, which only looks in ``tests/``)::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_sim.py \
+        [--quick] [--output BENCH_sim.json] [--check BASELINE.json]
+
+For each (workload, core count) point the benchmark measures simulated
+ops per host second three ways:
+
+1. ``reference`` — the pre-fast-path execution model: streams generated
+   fresh (lazy generators) and interpreted one op per scheduler step
+   through the full controller call chain;
+2. ``fast_cold`` — compiled streams (compile time included) on the
+   fast-path kernel;
+3. ``fast_warm`` — compile cache warm (the sweep steady state: every
+   V/f point after the first reuses the compiled streams).
+
+Each mode runs ``--repeats`` times and keeps the best (least-noise)
+time.  Counters are asserted identical between reference and fast on
+every point, so the benchmark doubles as an end-to-end equivalence
+check.
+
+``--check BASELINE.json`` guards against perf regressions in CI: for
+every point present in both runs it compares ``speedup_warm`` (warm
+fast-path ops/sec over reference ops/sec *from the same run on the same
+machine*) and fails if it dropped by more than ``--tolerance`` (default
+30%).  Comparing the ratio rather than raw ops/sec keeps the check
+meaningful across machines of different speeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+from dataclasses import asdict
+
+from repro.sim import ChipMultiprocessor, CMPConfig
+from repro.sim.ops import OpStreamCache, compile_workload
+from repro.workloads import WorkloadModel, workload_by_name
+
+FULL_APPS = ("FMM", "LU", "Ocean", "Radix")
+FULL_CORE_COUNTS = (1, 4, 16)
+QUICK_APPS = ("FMM", "Ocean")
+QUICK_CORE_COUNTS = (4,)
+SCHEMA = "bench-sim-v1"
+
+
+def counters(result):
+    """The simulated counters of one run (for the equivalence assert)."""
+    return (
+        result.execution_time_ps,
+        [asdict(s) for s in result.core_stats],
+        asdict(result.coherence),
+        result.memory_requests,
+        result.lock_acquires,
+        result.barriers,
+    )
+
+
+def bench_point(app: str, n: int, scale: float, repeats: int) -> dict:
+    """Measure one (workload, core count) point in all three modes."""
+    model = WorkloadModel(workload_by_name(app).spec.scaled(scale))
+    config = CMPConfig(n_cores=n)
+    timing = model.core_timing()
+    warmup = model.warmup_barriers
+
+    def reference_run():
+        start = time.perf_counter()
+        result = ChipMultiprocessor(config, fast_path=False).run(
+            [model.thread_ops(t, n) for t in range(n)],
+            timing,
+            warmup_barriers=warmup,
+        )
+        return result, time.perf_counter() - start
+
+    def fast_run(cache):
+        start = time.perf_counter()
+        compiled = compile_workload(model, n, cache=cache)
+        result = ChipMultiprocessor(config, fast_path=True).run(
+            compiled.program.streams, timing, warmup_barriers=warmup
+        )
+        return result, time.perf_counter() - start
+
+    best = {}
+    reference = fast = None
+    for _ in range(repeats):
+        reference, t_ref = reference_run()
+        cold_cache = OpStreamCache()
+        fast, t_cold = fast_run(cold_cache)  # compile included
+        fast, t_warm = fast_run(cold_cache)  # cache hit
+        for mode, seconds in (
+            ("reference", t_ref),
+            ("fast_cold", t_cold),
+            ("fast_warm", t_warm),
+        ):
+            best[mode] = min(best.get(mode, math.inf), seconds)
+
+    if counters(reference) != counters(fast):
+        raise AssertionError(
+            f"{app} n={n}: fast path diverged from the reference interpreter"
+        )
+
+    ops = reference.kernel.total_ops
+    point = {
+        "app": app,
+        "n": n,
+        "scale": scale,
+        "ops": ops,
+        "fast_path_ratio": round(fast.kernel.fast_path_ratio, 4),
+    }
+    for mode, seconds in best.items():
+        point[f"{mode}_ops_per_sec"] = round(ops / seconds, 1)
+    point["speedup_cold"] = round(best["reference"] / best["fast_cold"], 3)
+    point["speedup_warm"] = round(best["reference"] / best["fast_warm"], 3)
+    return point
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_benchmark(args) -> dict:
+    apps = QUICK_APPS if args.quick else FULL_APPS
+    core_counts = QUICK_CORE_COUNTS if args.quick else FULL_CORE_COUNTS
+    points = []
+    for app in apps:
+        for n in core_counts:
+            point = bench_point(app, n, args.scale, args.repeats)
+            points.append(point)
+            print(
+                f"{app:6s} n={n:2d}: ref {point['reference_ops_per_sec']:>11,.0f} "
+                f"ops/s, warm {point['fast_warm_ops_per_sec']:>11,.0f} ops/s "
+                f"({point['speedup_warm']:.2f}x, "
+                f"fast-path {100 * point['fast_path_ratio']:.1f}%)"
+            )
+    warm = [p["speedup_warm"] for p in points]
+    return {
+        "schema": SCHEMA,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "config": {
+            "scale": args.scale,
+            "repeats": args.repeats,
+            "quick": args.quick,
+        },
+        "points": points,
+        "summary": {
+            "geomean_speedup_warm": round(geomean(warm), 3),
+            "min_speedup_warm": min(warm),
+            "max_speedup_warm": max(warm),
+        },
+    }
+
+
+def check_regression(report: dict, baseline_path: str, tolerance: float) -> int:
+    """Exit code 1 if any shared point regressed beyond ``tolerance``."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    reference = {
+        (p["app"], p["n"], p["scale"]): p for p in baseline.get("points", [])
+    }
+    failures = []
+    compared = 0
+    for point in report["points"]:
+        key = (point["app"], point["n"], point["scale"])
+        old = reference.get(key)
+        if old is None:
+            continue
+        compared += 1
+        floor = (1.0 - tolerance) * old["speedup_warm"]
+        if point["speedup_warm"] < floor:
+            failures.append(
+                f"{point['app']} n={point['n']}: speedup_warm "
+                f"{point['speedup_warm']:.2f}x < {floor:.2f}x "
+                f"(baseline {old['speedup_warm']:.2f}x - {tolerance:.0%})"
+            )
+    if not compared:
+        print(f"[check] no comparable points in {baseline_path}", file=sys.stderr)
+        return 1
+    if failures:
+        for line in failures:
+            print(f"[check] REGRESSION: {line}", file=sys.stderr)
+        return 1
+    print(f"[check] {compared} points within {tolerance:.0%} of baseline")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small point set for CI smoke runs",
+    )
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per mode, best kept (default: 3)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report to PATH",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="fail if speedup_warm regressed vs a previous report",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional speedup regression for --check (default: 0.30)",
+    )
+    args = parser.parse_args()
+
+    report = run_benchmark(args)
+    summary = report["summary"]
+    print(
+        f"speedup_warm: geomean {summary['geomean_speedup_warm']:.2f}x, "
+        f"min {summary['min_speedup_warm']:.2f}x, "
+        f"max {summary['max_speedup_warm']:.2f}x"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.check:
+        return check_regression(report, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

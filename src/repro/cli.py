@@ -17,6 +17,10 @@ accept ``--jobs N`` to fan independent sweep points out over N worker
 processes, and ``--cache DIR`` to memoize completed points on disk so a
 re-run only simulates points whose configuration changed
 (``--no-cache`` disables a configured cache for one invocation).
+
+The experimental sweeps (``fig3``, ``fig4``, ``characterize``) also
+accept ``--profile`` to print how the simulation kernel performed:
+ops/sec, fast-path hit ratio, and per-subsystem slow-path time.
 """
 
 from __future__ import annotations
@@ -97,6 +101,22 @@ def _print_executor_summary(executor) -> None:
         )
 
 
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "print simulation-kernel profiling (ops/sec, fast-path hit "
+            "ratio, per-subsystem time) after the sweep"
+        ),
+    )
+
+
+def _print_kernel_summary(context, args) -> None:
+    if getattr(args, "profile", False):
+        print(context.kernel_log.summary())
+
+
 def _add_apps_argument(parser: argparse.ArgumentParser, default: Sequence[str]) -> None:
     parser.add_argument(
         "--apps",
@@ -128,17 +148,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_apps_argument(fig3, ("FMM", "LU", "Ocean", "Cholesky", "Radix"))
     _add_scale_argument(fig3)
     _add_executor_arguments(fig3)
+    _add_profile_argument(fig3)
 
     fig4 = commands.add_parser("fig4", help="experimental Figure 4")
     _add_apps_argument(fig4, ("FMM", "Cholesky", "Radix"))
     _add_scale_argument(fig4)
     _add_executor_arguments(fig4)
+    _add_profile_argument(fig4)
 
     characterize = commands.add_parser(
         "characterize", help="workload-model signatures"
     )
     _add_scale_argument(characterize)
     _add_executor_arguments(characterize)
+    _add_profile_argument(characterize)
 
     commands.add_parser("info", help="machine and suite summary")
 
@@ -212,18 +235,18 @@ def _cmd_fig2(args) -> int:
     return 0
 
 
-def _experimental_context(scale: float):
+def _experimental_context(scale: float, profile: bool = False):
     from repro.harness import ExperimentContext
 
     print("building experiment context (calibration microbenchmark)...")
-    return ExperimentContext(workload_scale=scale)
+    return ExperimentContext(workload_scale=scale, profile=profile)
 
 
 def _cmd_fig3(args) -> int:
     from repro.harness import run_scenario1
     from repro.workloads import workload_by_name
 
-    context = _experimental_context(args.scale)
+    context = _experimental_context(args.scale, args.profile)
     executor = _executor_from_args(args)
     models = [workload_by_name(app) for app in args.apps]
     results = run_scenario1(context, models, executor=executor)
@@ -248,6 +271,7 @@ def _cmd_fig3(args) -> int:
         )
     )
     _print_executor_summary(executor)
+    _print_kernel_summary(context, args)
     return 0
 
 
@@ -255,7 +279,7 @@ def _cmd_fig4(args) -> int:
     from repro.harness import run_scenario2
     from repro.workloads import workload_by_name
 
-    context = _experimental_context(args.scale)
+    context = _experimental_context(args.scale, args.profile)
     executor = _executor_from_args(args)
     models = [workload_by_name(app) for app in args.apps]
     results = run_scenario2(
@@ -274,6 +298,7 @@ def _cmd_fig4(args) -> int:
         )
     )
     _print_executor_summary(executor)
+    _print_kernel_summary(context, args)
     return 0
 
 
@@ -283,7 +308,7 @@ def _cmd_characterize(args) -> int:
     from repro.harness.profiling import SimPointTask, sim_point_key, simulate_point
     from repro.workloads import SPLASH2
 
-    context = _experimental_context(args.scale)
+    context = _experimental_context(args.scale, args.profile)
     executor = _executor_from_args(args)
     # One flat fan-out over every (application, N) profiling point.
     tasks = [
@@ -315,6 +340,7 @@ def _cmd_characterize(args) -> int:
         )
     )
     _print_executor_summary(executor)
+    _print_kernel_summary(context, args)
     return 0
 
 

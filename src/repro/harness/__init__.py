@@ -27,6 +27,7 @@ from repro.harness.executor import (
 )
 from repro.harness.profiling import (
     ApplicationProfile,
+    KernelAggregate,
     ProfileEntry,
     SimPointRow,
     SimPointTask,
@@ -86,6 +87,7 @@ __all__ = [
     "SweepFailure",
     "config_key",
     "ApplicationProfile",
+    "KernelAggregate",
     "ProfileEntry",
     "SimPointRow",
     "SimPointTask",

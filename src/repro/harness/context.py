@@ -20,6 +20,7 @@ from repro.power.chippower import ChipPowerModel, ChipPowerResult
 from repro.power.static import StaticPowerModel
 from repro.power.wattch import UnitEnergies, WattchModel
 from repro.sim.cmp import ChipMultiprocessor, CMPConfig, SimulationResult
+from repro.sim.ops import compile_workload
 from repro.tech.technology import NODE_65NM, TechnologyNode, VFTable
 from repro.thermal.floorplan import cmp_floorplan
 from repro.thermal.hotspot import HotSpotModel
@@ -39,9 +40,18 @@ class ExperimentContext:
         vf_step_hz: float = 200e6,
         f_min_hz: float = 200e6,
         workload_scale: float = 1.0,
+        fast_path: bool = True,
+        profile: bool = False,
     ) -> None:
         if workload_scale <= 0:
             raise ConfigurationError("workload_scale must be positive")
+        #: Which simulation kernel :meth:`run` uses.  The fast path and
+        #: the reference interpreter are bitwise-identical in every
+        #: counter (tests/sim/test_fastpath_equivalence.py), so neither
+        #: flag enters the fingerprint: cached rows are valid across
+        #: kernel modes.
+        self.fast_path = fast_path
+        self.profile = profile
         self.cmp_config = cmp_config or CMPConfig(
             frequency_hz=tech.f_nominal, voltage=tech.vdd_nominal
         )
@@ -69,6 +79,11 @@ class ExperimentContext:
         self.chip_power = ChipPowerModel(
             self.thermal, self.wattch, self.static_model, self.calibration
         )
+        # Local import: profiling imports this module at top level.
+        from repro.harness.profiling import KernelAggregate
+
+        #: Kernel profiling accumulated over every in-process run.
+        self.kernel_log = KernelAggregate()
         #: Everything that determines a simulation's outcome, recorded at
         #: construction time for content-addressed result caching.
         self._fingerprint = {
@@ -125,11 +140,18 @@ class ExperimentContext:
         scaled = model
         if self.workload_scale != 1.0:
             scaled = WorkloadModel(model.spec.scaled(self.workload_scale))
-        chip = ChipMultiprocessor(config)
+        compiled = compile_workload(scaled, n_threads)
+        chip = ChipMultiprocessor(
+            config, fast_path=self.fast_path, profile=self.profile
+        )
         result = chip.run(
-            [scaled.thread_ops(t, n_threads) for t in range(n_threads)],
+            compiled.program.streams,
             scaled.core_timing(),
             warmup_barriers=scaled.warmup_barriers,
         )
+        if result.kernel is not None:
+            result.kernel.compile_s = compiled.seconds
+            result.kernel.compile_cache_hit = compiled.from_cache
+            self.kernel_log.add(result.kernel)
         power = self.chip_power.evaluate(result)
         return result, power

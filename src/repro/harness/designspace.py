@@ -62,9 +62,12 @@ class DesignRunTask:
 
 
 def _run(config: CMPConfig, model: WorkloadModel, n: int):
+    from repro.sim.ops import compile_workload
+
+    compiled = compile_workload(model, n)
     chip = ChipMultiprocessor(config)
     return chip.run(
-        [model.thread_ops(t, n) for t in range(n)],
+        compiled.program.streams,
         model.core_timing(),
         warmup_barriers=model.warmup_barriers,
     )

@@ -103,14 +103,22 @@ def run_percore_dvfs(
     if context.workload_scale != 1.0:
         scaled = WorkloadModel(model.spec.scaled(context.workload_scale))
     from repro.sim.cmp import ChipMultiprocessor  # local import: avoids cycle
+    from repro.sim.ops import compile_workload
 
-    chip = ChipMultiprocessor(context.cmp_config)
+    compiled = compile_workload(scaled, n_threads)
+    chip = ChipMultiprocessor(
+        context.cmp_config, fast_path=context.fast_path, profile=context.profile
+    )
     percore_result = chip.run(
-        [scaled.thread_ops(t, n_threads) for t in range(n_threads)],
+        compiled.program.streams,
         scaled.core_timing(),
         warmup_barriers=scaled.warmup_barriers,
         core_operating_points=list(zip(frequencies, voltages)),
     )
+    if percore_result.kernel is not None:
+        percore_result.kernel.compile_s = compiled.seconds
+        percore_result.kernel.compile_cache_hit = compiled.from_cache
+        context.kernel_log.add(percore_result.kernel)
     percore_power = context.chip_power.evaluate(percore_result)
 
     return PerCoreDVFSResult(

@@ -9,7 +9,7 @@ use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, List, Optional, Sequence
 
@@ -17,8 +17,73 @@ from repro.errors import ConfigurationError
 from repro.harness.context import ExperimentContext
 from repro.harness.executor import SweepExecutor
 from repro.power.chippower import ChipPowerResult
-from repro.sim.cmp import SimulationResult
+from repro.sim.cmp import KernelStats, SimulationResult
 from repro.workloads.base import WorkloadModel, WorkloadSpec
+
+
+@dataclass
+class KernelAggregate:
+    """Kernel profiling accumulated across many simulation runs.
+
+    :meth:`ExperimentContext.run <repro.harness.context.ExperimentContext.run>`
+    feeds every run's :class:`~repro.sim.cmp.KernelStats` into the
+    context's aggregate, so a whole figure pipeline can report one
+    ops/sec + fast-path summary (the ``--profile`` CLI flag).  Only runs
+    executed in this process are seen — points fanned out to worker
+    processes or served from the result cache contribute nothing.
+    """
+
+    runs: int = 0
+    total_ops: int = 0
+    fast_path_ops: int = 0
+    slow_path_ops: int = 0
+    barrier_ops: int = 0
+    sim_wall_s: float = 0.0
+    compile_s: float = 0.0
+    compile_cache_hits: int = 0
+    subsystem_s: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, kernel: KernelStats) -> None:
+        """Fold one run's kernel stats into the aggregate."""
+        self.runs += 1
+        self.total_ops += kernel.total_ops
+        self.fast_path_ops += kernel.fast_path_ops
+        self.slow_path_ops += kernel.slow_path_ops
+        self.barrier_ops += kernel.barrier_ops
+        self.sim_wall_s += kernel.sim_wall_s
+        self.compile_s += kernel.compile_s
+        self.compile_cache_hits += 1 if kernel.compile_cache_hit else 0
+        for name, seconds in kernel.subsystem_s.items():
+            self.subsystem_s[name] = self.subsystem_s.get(name, 0.0) + seconds
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Aggregate simulated ops per host second in the kernel loop."""
+        return self.total_ops / self.sim_wall_s if self.sim_wall_s > 0 else 0.0
+
+    @property
+    def fast_path_ratio(self) -> float:
+        """Fraction of all ops the fast path resolved."""
+        return self.fast_path_ops / self.total_ops if self.total_ops else 0.0
+
+    def summary(self) -> str:
+        """One human-readable line for the CLI's ``--profile`` output."""
+        if not self.runs:
+            return "[kernel] no in-process simulations ran"
+        line = (
+            f"[kernel] {self.runs} runs, {self.total_ops:,} ops at "
+            f"{self.ops_per_sec:,.0f} ops/s, "
+            f"fast-path {100.0 * self.fast_path_ratio:.1f}%, "
+            f"compile {self.compile_s:.2f}s "
+            f"({self.compile_cache_hits}/{self.runs} stream-cache hits)"
+        )
+        if self.subsystem_s:
+            parts = ", ".join(
+                f"{name} {seconds:.2f}s"
+                for name, seconds in sorted(self.subsystem_s.items())
+            )
+            line += f"\n[kernel] slow-path time: {parts}"
+        return line
 
 
 @dataclass(frozen=True)

@@ -270,13 +270,21 @@ def _run_boosted(
     if context.workload_scale != 1.0:
         scaled = WorkloadModel(model.spec.scaled(context.workload_scale))
     from repro.sim.cmp import ChipMultiprocessor
+    from repro.sim.ops import compile_workload
 
-    chip = ChipMultiprocessor(config)
+    compiled = compile_workload(scaled, n_threads)
+    chip = ChipMultiprocessor(
+        config, fast_path=context.fast_path, profile=context.profile
+    )
     result = chip.run(
-        [scaled.thread_ops(t, n_threads) for t in range(n_threads)],
+        compiled.program.streams,
         scaled.core_timing(),
         warmup_barriers=scaled.warmup_barriers,
     )
+    if result.kernel is not None:
+        result.kernel.compile_s = compiled.seconds
+        result.kernel.compile_cache_hit = compiled.from_cache
+        context.kernel_log.add(result.kernel)
     return result, context.chip_power.evaluate(result)
 
 

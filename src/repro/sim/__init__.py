@@ -22,10 +22,19 @@ from repro.sim.cache import Cache, CacheConfig
 from repro.sim.bus import BankedCrossbar, SharedBus, BusConfig
 from repro.sim.memory import MainMemory
 from repro.sim.coherence import MESIController, CoherenceStats
+from repro.sim.ops import (
+    CompiledProgram,
+    CompileOutcome,
+    OpStreamCache,
+    compile_stream,
+    compile_workload,
+    stream_cache,
+)
 from repro.sim.cmp import (
     ChipMultiprocessor,
     ChipSession,
     CMPConfig,
+    KernelStats,
     SimulationResult,
     CoreStats,
 )
@@ -40,9 +49,16 @@ __all__ = [
     "MainMemory",
     "MESIController",
     "CoherenceStats",
+    "CompiledProgram",
+    "CompileOutcome",
+    "OpStreamCache",
+    "compile_stream",
+    "compile_workload",
+    "stream_cache",
     "ChipMultiprocessor",
     "ChipSession",
     "CMPConfig",
+    "KernelStats",
     "SimulationResult",
     "CoreStats",
 ]

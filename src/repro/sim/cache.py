@@ -97,6 +97,22 @@ class Cache:
         """State of the line without touching LRU or counters (snoops)."""
         return self._set_for(line_addr).get(line_addr)
 
+    def touch_hit(self, line_addr: int, state: Optional[int] = None) -> None:
+        """Record a hit on a *known-resident* line: LRU move + hit count.
+
+        The fast-path dispatch loop (:meth:`repro.sim.cpu.Core.step_fast`)
+        performs exactly this sequence inline after probing the line;
+        ``state`` optionally rewrites the line's state in the same move
+        (the silent E->M store upgrade).  Equivalent to ``lookup`` (plus
+        ``set_state`` when ``state`` is given) for a resident line.
+        """
+        cache_set = self._sets[line_addr % self._n_sets]
+        if state is None:
+            state = cache_set[line_addr]
+        del cache_set[line_addr]
+        cache_set[line_addr] = state
+        self.hits += 1
+
     def set_state(self, line_addr: int, state: int) -> None:
         """Change the state of a resident line (snoop downgrades etc.)."""
         cache_set = self._set_for(line_addr)

@@ -14,6 +14,7 @@ arrives; the release pays a fixed synchronisation cost.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -32,6 +33,10 @@ from repro.sim.cpu import (
     LockTable,
 )
 from repro.sim.memory import MainMemory, MemoryConfig
+
+#: Horizon passed to ``step_fast`` when no other core is pending in the
+#: heap: compares greater than every real ``(time_ps, core_id)`` key.
+_NO_HORIZON = (float("inf"), -1)
 
 
 @dataclass(frozen=True)
@@ -113,6 +118,50 @@ class CMPConfig:
 
 
 @dataclass
+class KernelStats:
+    """How the simulation kernel executed one run (host-side profiling).
+
+    Everything here describes the *simulator's* behaviour on the host —
+    wall-clock time, fast-path coverage — and never feeds back into the
+    simulated counters, which are bitwise-identical across kernel modes.
+    """
+
+    #: ``"fast"`` (compiled streams + L1-hit short-circuit) or
+    #: ``"reference"`` (one op per scheduler pop through the controller).
+    mode: str
+    #: Source ops executed (fused compute segments counted individually).
+    total_ops: int = 0
+    #: Ops resolved by the fast path without entering the controller.
+    fast_path_ops: int = 0
+    #: Ops routed through the reference machinery (misses, upgrades,
+    #: critical sections).
+    slow_path_ops: int = 0
+    #: Barrier registrations handled by the scheduler.
+    barrier_ops: int = 0
+    #: Wall-clock seconds the scheduler loop ran.
+    sim_wall_s: float = 0.0
+    #: Wall-clock seconds spent compiling the op streams (0 when the
+    #: compile cache was warm); filled by the caller that compiled.
+    compile_s: float = 0.0
+    #: Whether the op streams came from a warm compile cache.
+    compile_cache_hit: bool = False
+    #: Optional per-subsystem wall time (populated when profiling):
+    #: ``memory`` (controller reads/writes), ``critical`` (lock
+    #: sections), ``barrier`` (barrier bookkeeping).
+    subsystem_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Simulated ops per host second (0 when the run took no time)."""
+        return self.total_ops / self.sim_wall_s if self.sim_wall_s > 0 else 0.0
+
+    @property
+    def fast_path_ratio(self) -> float:
+        """Fraction of ops the fast path resolved."""
+        return self.fast_path_ops / self.total_ops if self.total_ops else 0.0
+
+
+@dataclass
 class SimulationResult:
     """Everything one simulation run produced."""
 
@@ -131,6 +180,8 @@ class SimulationResult:
     #: Per-core (frequency, voltage); equals the chip-wide operating
     #: point unless per-core DVFS was used.
     core_operating_points: List[Tuple[float, float]] = field(default_factory=list)
+    #: Host-side kernel profiling (never affects simulated counters).
+    kernel: Optional[KernelStats] = None
 
     def core_frequency(self, core_index: int) -> float:
         """Clock frequency of one core (hertz)."""
@@ -185,8 +236,15 @@ class ChipMultiprocessor:
     #: Safety valve against scheduler bugs: no sane run needs more steps.
     MAX_STEPS = 500_000_000
 
-    def __init__(self, config: CMPConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: CMPConfig | None = None,
+        fast_path: bool = True,
+        profile: bool = False,
+    ) -> None:
         self.config = config or CMPConfig()
+        self.fast_path = fast_path
+        self.profile = profile
 
     def run(
         self,
@@ -210,12 +268,19 @@ class ChipMultiprocessor:
         "beyond the scope" extension): one (frequency, voltage) pair per
         thread.  The uncore (bus, L2) stays in the chip-wide
         ``config.frequency_hz`` domain; memory remains wall-clock.
+
+        ``fast_path`` (constructor) selects the execution kernel: the
+        fast path compiles streams and short-circuits L1 hits; the
+        reference interpreter routes every op through the controller.
+        Both produce bitwise-identical counters.
         """
         session = ChipSession(
             self.config,
             n_threads=len(thread_ops),
             timing=timing,
             core_operating_points=core_operating_points,
+            fast_path=self.fast_path,
+            profile=self.profile,
         )
         return session.run_window(thread_ops, warmup_barriers=warmup_barriers)
 
@@ -239,6 +304,8 @@ class ChipSession:
         n_threads: int,
         timing: CoreTimingConfig | Sequence[CoreTimingConfig] | None = None,
         core_operating_points: Optional[Sequence[Tuple[float, float]]] = None,
+        fast_path: bool = True,
+        profile: bool = False,
     ) -> None:
         if n_threads < 1:
             raise ConfigurationError("need at least one thread")
@@ -256,6 +323,8 @@ class ChipSession:
                     raise ConfigurationError("operating points must be positive")
         self.config = config
         self.n_threads = n_threads
+        self.fast_path = fast_path
+        self.profile = profile
         if timing is None:
             timings = [CoreTimingConfig()] * n_threads
         elif isinstance(timing, CoreTimingConfig):
@@ -352,15 +421,28 @@ class ChipSession:
         core_clocks = self._core_clocks
 
         window_start = max(core.time_ps for core in cores)
+        use_fast = self.fast_path
         for core, ops in zip(cores, thread_ops):
             core.time_ps = window_start
-            core._ops = iter(ops)
+            if use_fast:
+                core.bind_stream(ops if type(ops) is list else list(ops))
+                core.prepare_fast_path(profile=self.profile)
+            else:
+                core._ops = iter(ops)
         self._reset_counters()
+        steppers = [
+            core.step_fast if use_fast else core.step for core in cores
+        ]
+        wall_start = time.perf_counter()
 
         heap: List[tuple] = [(window_start, i) for i in range(n_threads)]
         heapq.heapify(heap)
+        heappop = heapq.heappop
+        heappush = heapq.heappush
         barrier_waiters: Dict[int, List[int]] = {}
         barriers_seen = 0
+        barrier_ops = 0
+        reference_ops = 0
         finished = 0
         steps = 0
         measurement_start_ps = window_start
@@ -370,14 +452,27 @@ class ChipSession:
             steps += 1
             if steps > self.MAX_STEPS:
                 raise SimulationError("scheduler exceeded MAX_STEPS (deadlock?)")
-            _, core_id = heapq.heappop(heap)
+            _, core_id = heappop(heap)
             core = cores[core_id]
-            status = core.step()
+            if use_fast:
+                # Safe horizon for the batch: the next core's heap key.
+                # Parked (barrier) and finished cores cannot act before
+                # this core, so an empty heap means no horizon at all.
+                if heap:
+                    next_time, next_id = heap[0]
+                else:
+                    next_time, next_id = _NO_HORIZON
+                status = steppers[core_id](next_time, next_id)
+            else:
+                status = steppers[core_id]()
+            if status != DONE:
+                reference_ops += 1
             if status == RUNNING:
-                heapq.heappush(heap, (core.time_ps, core_id))
+                heappush(heap, (core.time_ps, core_id))
             elif status == DONE:
                 finished += 1
             else:  # AT_BARRIER
+                barrier_ops += 1
                 barrier_id = core.pending_barrier
                 waiters = barrier_waiters.setdefault(barrier_id, [])
                 waiters.append(core_id)
@@ -400,7 +495,7 @@ class ChipSession:
                         else:
                             waiter.stats.sync_wait_ps += wait_ps
                         waiter.time_ps = release
-                        heapq.heappush(heap, (release, waiter_id))
+                        heappush(heap, (release, waiter_id))
                     del barrier_waiters[barrier_id]
                     if warmup_remaining and barriers_seen == warmup_remaining:
                         # End of initialization: reset every activity
@@ -410,6 +505,8 @@ class ChipSession:
                         warmup_remaining = 0
                         self._reset_counters()
 
+        sim_wall_s = time.perf_counter() - wall_start
+
         if finished != n_threads:
             stuck = sorted(
                 core_id for waiters in barrier_waiters.values() for core_id in waiters
@@ -417,6 +514,33 @@ class ChipSession:
             raise SimulationError(
                 f"deadlock: threads {stuck} never released from a barrier "
                 "(threads must all reach every barrier)"
+            )
+
+        if use_fast:
+            fast_ops = sum(core.fast_ops for core in cores)
+            slow_ops = sum(core.slow_ops for core in cores)
+            kernel = KernelStats(
+                mode="fast",
+                total_ops=fast_ops + slow_ops + barrier_ops,
+                fast_path_ops=fast_ops,
+                slow_path_ops=slow_ops,
+                barrier_ops=barrier_ops,
+                sim_wall_s=sim_wall_s,
+            )
+            if self.profile:
+                for core in cores:
+                    for name, seconds in core.subsystem_s.items():
+                        kernel.subsystem_s[name] = (
+                            kernel.subsystem_s.get(name, 0.0) + seconds
+                        )
+        else:
+            kernel = KernelStats(
+                mode="reference",
+                total_ops=reference_ops,
+                fast_path_ops=0,
+                slow_path_ops=reference_ops - barrier_ops,
+                barrier_ops=barrier_ops,
+                sim_wall_s=sim_wall_s,
             )
 
         execution_time = (
@@ -442,4 +566,5 @@ class ChipSession:
             lock_contended=self._locks.contended_acquires,
             barriers=barriers_seen,
             core_operating_points=operating_points,
+            kernel=kernel,
         )

@@ -84,6 +84,9 @@ class MESIController:
         #: Per-core clocks (L1 hit latency ticks in the requester's
         #: domain); defaults to the uncore clock for global DVFS.
         self.core_clocks = core_clocks or [clock] * len(l1_caches)
+        self._hit_ps = [
+            c.cycles_to_ps(l1_hit_cycles) for c in self.core_clocks
+        ]
         #: Stream prefetching (extension): a demand L1 read miss on the
         #: line sequentially after the core's previous miss is a detected
         #: stream — the next line is pulled into the L1 off the critical
@@ -103,10 +106,11 @@ class MESIController:
         """Propagate a chip-wide DVFS change (uncore + every core)."""
         self.clock = clock
         self.core_clocks = [clock] * len(self.l1s)
+        self._hit_ps = [clock.cycles_to_ps(self.l1_hit_cycles)] * len(self.l1s)
         self.bus.set_clock(clock)
 
     def _l1_hit_ps(self, core_id: int) -> int:
-        return self.core_clocks[core_id].cycles_to_ps(self.l1_hit_cycles)
+        return self._hit_ps[core_id]
 
     # -- sharer-map helpers -------------------------------------------------
 
@@ -166,11 +170,12 @@ class MESIController:
 
     def read(self, core_id: int, byte_address: int, now_ps: int) -> int:
         """A load by ``core_id``; returns its completion time (ps)."""
+        stats = self.stats
         l1 = self.l1s[core_id]
         line = l1.line_address(byte_address)
         state = l1.lookup(line)
         if state is not None:
-            self.stats.l1_hits += 1
+            stats.l1_hits += 1
             done = now_ps + self._l1_hit_ps(core_id)
             if self.prefetch_next_line and line in self._prefetched:
                 # First demand hit on a prefetched line: keep the
@@ -179,7 +184,7 @@ class MESIController:
                 self._prefetch(core_id, line + 1, done)
             return done
 
-        self.stats.l1_misses += 1
+        stats.l1_misses += 1
         grant, _release = self.bus.acquire(now_ps, with_data=True, route=line)
         others = self._other_sharers(line, core_id)
 
@@ -189,7 +194,7 @@ class MESIController:
             # dirty data is written through to the L2 (MOESI-free MESI).
             self.l1s[owner].set_state(line, SHARED)
             self._l2_mark_dirty(byte_address)
-            self.stats.cache_to_cache += 1
+            stats.cache_to_cache += 1
             ready = grant + self.clock.cycles_to_ps(self.cache_to_cache_cycles)
             fill_state = SHARED
         else:
@@ -213,29 +218,30 @@ class MESIController:
 
     def write(self, core_id: int, byte_address: int, now_ps: int) -> int:
         """A store by ``core_id``; returns its completion time (ps)."""
+        stats = self.stats
         l1 = self.l1s[core_id]
         line = l1.line_address(byte_address)
         state = l1.lookup(line)
 
         if state == MODIFIED:
-            self.stats.l1_hits += 1
+            stats.l1_hits += 1
             return now_ps + self._l1_hit_ps(core_id)
         if state == EXCLUSIVE:
             # Silent E -> M upgrade.
-            self.stats.l1_hits += 1
+            stats.l1_hits += 1
             l1.set_state(line, MODIFIED)
             return now_ps + self._l1_hit_ps(core_id)
         if state == SHARED:
             # BusUpgr: address-only transaction invalidating other copies.
-            self.stats.l1_hits += 1
+            stats.l1_hits += 1
             grant, release = self.bus.acquire(now_ps, with_data=False, route=line)
             self._invalidate_others(line, core_id)
             l1.set_state(line, MODIFIED)
-            self.stats.upgrades += 1
+            stats.upgrades += 1
             return release
 
         # Write miss: BusRdX.
-        self.stats.l1_misses += 1
+        stats.l1_misses += 1
         grant, _release = self.bus.acquire(now_ps, with_data=True, route=line)
         others = self._other_sharers(line, core_id)
         owner = self._find_modified_owner(line, others)

@@ -12,14 +12,30 @@ A core consumes its thread's operation stream one op per scheduler step
 and advances its local picosecond clock.  Barriers are reported to the
 scheduler (:mod:`repro.sim.cmp`), which parks the core until release;
 critical sections serialise through a shared lock table.
+
+Two execution paths produce bitwise-identical counters:
+
+* :meth:`Core.step` — the reference interpreter: one op per scheduler
+  pop, every memory operation routed through the MESI controller;
+* :meth:`Core.step_fast` — the fast path over a *compiled* (list-backed)
+  stream: compute bursts and loads/stores that hit the local L1 in a
+  suitable MESI state are resolved inline — hoisted attribute lookups,
+  precomputed burst durations, batched stat accumulation — and executed
+  in batches between scheduler pops.  Anything touching shared state
+  (bus, locks, misses, upgrades, barriers) falls back to the reference
+  machinery at exactly the scheduler position the reference interpreter
+  would give it, which is what makes the two paths bitwise-identical
+  (the equivalence argument is spelled out in docs/MODEL.md).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.sim.cache import EXCLUSIVE, MODIFIED
 from repro.sim.clock import ClockDomain
 from repro.sim.coherence import MESIController
 from repro.sim.ops import OP_BARRIER, OP_COMPUTE, OP_CRITICAL, OP_LOAD, OP_STORE
@@ -129,13 +145,82 @@ class Core:
         self.timing = timing
         self.locks = locks
         self.time_ps = 0
+        #: L1-hit latency in this core's clock (recomputed on DVFS).
+        self._hit_ps = clock.cycles_to_ps(controller.l1_hit_cycles)
         self.stats = CoreStats()
         #: Barrier index the core is waiting at (valid after AT_BARRIER).
         self.pending_barrier: Optional[int] = None
+        # -- fast-path state (see step_fast) --------------------------------
+        #: Compiled (list-backed) stream and cursor.
+        self._ops_list: List[tuple] = []
+        self._ops_index = 0
+        #: Duration/instruction table per distinct burst key (an int for a
+        #: plain burst, a segment tuple for a fused one); cleared on DVFS.
+        self._burst_ps: Dict = {}
+        #: Whether loads/stores hitting the local L1 may bypass the
+        #: controller (set by prepare_fast_path).
+        self._fast_loads = False
+        self._fast_stores = False
+        #: Fast/slow op tallies and optional per-subsystem wall time.
+        self.fast_ops = 0
+        self.slow_ops = 0
+        self._profile = False
+        self.subsystem_s: Dict[str, float] = {}
 
     def set_clock(self, clock: ClockDomain) -> None:
         """DVFS: subsequent cycle costs use the new period."""
         self.clock = clock
+        self._hit_ps = clock.cycles_to_ps(self.controller.l1_hit_cycles)
+        self._burst_ps.clear()
+
+    def bind_stream(self, ops: List[tuple]) -> None:
+        """Attach a compiled stream for fast-path execution."""
+        self._ops_list = ops
+        self._ops_index = 0
+        self._ops = iter(ops)
+
+    def prepare_fast_path(self, profile: bool = False) -> None:
+        """Decide which op classes may bypass the controller this window.
+
+        An L1 hit may short-circuit only when the controller would charge
+        it zero stall: the hit latency the controller bills (in the
+        requester's clock domain) must equal the one the core folds into
+        its base CPI (its own clock).  These are the same domain in every
+        supported configuration, but the check keeps the fast path safe
+        under exotic hand-built machines.  Loads additionally require the
+        prefetcher off — a read hit on a prefetched line triggers stream
+        chasing inside the controller.
+        """
+        controller = self.controller
+        same_domain = (
+            controller.core_clocks[self.core_id].period_ps == self.clock.period_ps
+        )
+        self._fast_stores = same_domain
+        self._fast_loads = same_domain and not controller.prefetch_next_line
+        self._burst_ps.clear()
+        self._profile = profile
+        self.fast_ops = 0
+        self.slow_ops = 0
+        self.subsystem_s = {}
+        # Window-invariant state for step_fast, packed so each scheduler
+        # pop pays one attribute access + tuple unpack instead of a
+        # dozen chained lookups.  Only identity-stable objects belong
+        # here: the L1's set dicts and the burst-cost dict are mutated
+        # in place, never replaced, while counters live on objects that
+        # _reset_counters swaps out (so step_fast reads those via self).
+        l1 = controller.l1s[self.core_id]
+        self._fast_frame = (
+            self._ops_list,
+            len(self._ops_list),
+            self.core_id,
+            l1._sets,
+            l1._n_sets,
+            l1._line_shift,
+            self._fast_loads,
+            self._fast_stores,
+            self._burst_ps,
+            profile,
+        )
 
     # -- op execution -------------------------------------------------------
 
@@ -165,7 +250,7 @@ class Core:
         self.stats.instructions += 1
         self.stats.icache_accesses += 1
         stall = done - now
-        hit_ps = self.clock.cycles_to_ps(self.controller.l1_hit_cycles)
+        hit_ps = self._hit_ps
         if stall <= hit_ps:
             # L1 hits are fully pipelined on the EV6; their cost is part
             # of the application's base CPI.
@@ -194,14 +279,23 @@ class Core:
         self.stats.critical_sections += 1
 
     def step(self) -> int:
-        """Execute one operation; returns RUNNING, AT_BARRIER, or DONE."""
+        """Execute one operation; returns RUNNING, AT_BARRIER, or DONE.
+
+        The reference interpreter.  Fused compute bursts (compiled
+        streams) are executed segment by segment, so the reference path
+        stays cycle-exact on compiled input too.
+        """
         op = next(self._ops, None)
         if op is None:
             self.stats.end_time_ps = self.time_ps
             return DONE
         kind = op[0]
         if kind == OP_COMPUTE:
-            self._run_burst(op[1])
+            if len(op) > 2:
+                for segment in op[2]:
+                    self._run_burst(segment)
+            else:
+                self._run_burst(op[1])
             return RUNNING
         if kind == OP_LOAD:
             self._run_memory_op(op[1], is_write=False)
@@ -216,3 +310,186 @@ class Core:
             self._run_critical(op[1], op[2], op[3])
             return RUNNING
         raise ConfigurationError(f"unknown op kind {kind}")
+
+    # -- fast path -----------------------------------------------------------
+
+    def _burst_cost(self, op: tuple) -> Tuple[int, int, int]:
+        """(duration_ps, instructions, source_ops) of one compute op.
+
+        Replicates :meth:`_run_burst`'s arithmetic per segment so a fused
+        burst costs exactly the sum of interpreting its segments — for
+        any clock period and core timing; cached per distinct burst
+        shape (the generator reuses a handful).
+        """
+        timing = self.timing
+        l2_hit_cycles = self.controller.l2_hit_cycles
+        cycles_to_ps = self.clock.cycles_to_ps
+        segments = op[2] if len(op) > 2 else (op[1],)
+        duration = 0
+        for n_instructions in segments:
+            cycles = n_instructions * timing.base_cpi
+            cycles += n_instructions * timing.icache_miss_rate * l2_hit_cycles
+            duration += cycles_to_ps(cycles)
+        return duration, sum(segments), len(segments)
+
+    def step_fast(self, next_time, next_id: int) -> int:
+        """Execute ops from the compiled stream until a scheduling point.
+
+        ``(next_time, next_id)`` is the scheduler heap's top key after
+        this core was popped — the virtual time at which another core
+        acts next.  The *safe-horizon* rule: any op touching state
+        another core can observe or mutate (loads/stores — even L1 hits,
+        since a peer's miss can invalidate or downgrade our lines — and
+        critical sections) executes only while this core's ``(time_ps,
+        core_id)`` key is still below that heap key, i.e. exactly while
+        the reference scheduler would keep popping this core anyway.
+        Within the horizon, L1 hits in a suitable MESI state resolve
+        inline (hoisted lookups, batched stat deltas) and anything else
+        runs through the reference machinery; past it, the core
+        re-enters the heap and waits its turn.  Compute bursts touch
+        only private state and run unconditionally; barrier registration
+        is order-insensitive (the release is a max over frozen arrival
+        times).  This makes the fast path's interleaving of *shared*
+        state mutations identical to the reference interpreter's, hence
+        bitwise-identical counters.  Returns RUNNING, AT_BARRIER, or
+        DONE.
+        """
+        (
+            ops,
+            n_ops,
+            core_id,
+            sets,
+            n_sets,
+            shift,
+            fast_loads,
+            fast_stores,
+            burst_ps,
+            profile,
+        ) = self._fast_frame
+        i = self._ops_index
+        t = self.time_ps
+        # Batched stat deltas (instructions and icache_accesses move in
+        # lockstep everywhere, so one delta serves both).
+        instr_d = 0
+        busy_d = 0
+        loads_d = 0
+        stores_d = 0
+        hits_d = 0
+        fast_d = 0
+        while i < n_ops:
+            op = ops[i]
+            kind = op[0]
+            if kind == OP_COMPUTE:
+                key = op[1] if len(op) == 2 else op[2]
+                cost = burst_ps.get(key)
+                if cost is None:
+                    cost = self._burst_cost(op)
+                    burst_ps[key] = cost
+                t += cost[0]
+                busy_d += cost[0]
+                instr_d += cost[1]
+                fast_d += cost[2]
+                i += 1
+                continue
+            if kind == OP_BARRIER:
+                # Order-insensitive registration: may complete the batch.
+                i += 1
+                self._ops_index = i
+                if fast_d:
+                    self._sync_deltas(
+                        t, instr_d, busy_d, loads_d, stores_d, hits_d, fast_d
+                    )
+                self.pending_barrier = op[1]
+                return AT_BARRIER
+            # Loads, stores, criticals touch shared-visible state: only
+            # while this core still leads the reference pop order.
+            if t > next_time or (t == next_time and core_id > next_id):
+                break
+            if kind == OP_LOAD:
+                if fast_loads:
+                    line = op[1] >> shift
+                    cache_set = sets[line % n_sets]
+                    state = cache_set.get(line)
+                    if state is not None:
+                        del cache_set[line]
+                        cache_set[line] = state
+                        hits_d += 1
+                        loads_d += 1
+                        instr_d += 1
+                        fast_d += 1
+                        i += 1
+                        continue
+                is_write = False
+            elif kind == OP_STORE:
+                if fast_stores:
+                    line = op[1] >> shift
+                    cache_set = sets[line % n_sets]
+                    state = cache_set.get(line)
+                    if state == MODIFIED or state == EXCLUSIVE:
+                        del cache_set[line]
+                        cache_set[line] = MODIFIED
+                        hits_d += 1
+                        stores_d += 1
+                        instr_d += 1
+                        fast_d += 1
+                        i += 1
+                        continue
+                is_write = True
+            elif kind != OP_CRITICAL:
+                raise ConfigurationError(f"unknown op kind {kind}")
+            # A slow op (miss, upgrade, critical section) inside the
+            # horizon: the reference machinery runs it here, at exactly
+            # the scheduler position the reference interpreter uses.
+            # fast_d == 0 implies t == self.time_ps (only compute bursts
+            # move t between syncs), so a zero-delta sync is a no-op.
+            if fast_d:
+                self._sync_deltas(
+                    t, instr_d, busy_d, loads_d, stores_d, hits_d, fast_d
+                )
+                instr_d = busy_d = loads_d = stores_d = hits_d = fast_d = 0
+            if profile:
+                started = time.perf_counter()
+            if kind == OP_CRITICAL:
+                self._run_critical(op[1], op[2], op[3])
+                name = "critical"
+            else:
+                self._run_memory_op(op[1], is_write)
+                name = "memory"
+            if profile:
+                elapsed = time.perf_counter() - started
+                self.subsystem_s[name] = self.subsystem_s.get(name, 0.0) + elapsed
+            self.slow_ops += 1
+            i += 1
+            t = self.time_ps
+
+        self._ops_index = i
+        if fast_d:
+            self._sync_deltas(t, instr_d, busy_d, loads_d, stores_d, hits_d, fast_d)
+        if i >= n_ops:
+            self.stats.end_time_ps = self.time_ps
+            return DONE
+        return RUNNING
+
+    def _sync_deltas(
+        self,
+        t: int,
+        instr_d: int,
+        busy_d: int,
+        loads_d: int,
+        stores_d: int,
+        hits_d: int,
+        fast_d: int,
+    ) -> None:
+        """Write batched fast-path deltas back to the shared counters."""
+        self.time_ps = t
+        if fast_d:
+            stats = self.stats
+            stats.instructions += instr_d
+            stats.icache_accesses += instr_d
+            stats.busy_ps += busy_d
+            stats.loads += loads_d
+            stats.stores += stores_d
+            if hits_d:
+                self.controller.stats.l1_hits += hits_d
+                self.controller.l1s[self.core_id].hits += hits_d
+            self.fast_ops += fast_d

@@ -14,10 +14,202 @@ the kind:
 
 Plain tuples (rather than dataclasses) keep the per-op cost low — the
 simulator consumes hundreds of thousands of these per run.
+
+Compiled op streams
+-------------------
+Generating a stream is itself expensive (the synthetic models draw from
+seeded RNGs per op; traces parse text), and a V/f sweep re-simulates the
+*same* stream at every operating point.  :func:`compile_stream`
+materializes a stream once into a flat list, run-length-merging runs of
+adjacent ``OP_COMPUTE`` bursts into a single *fused* op
+
+    ``(OP_COMPUTE, total_instructions, (n1, n2, ...))``
+
+that the simulator dispatches in one step.  Fusion is bitwise-exact: the
+executor charges a fused burst the *sum of the per-segment rounded
+durations*, which is precisely what interpreting the segments one by one
+would cost, for any clock and core timing (see
+:meth:`repro.sim.cpu.Core` and the fast-path invariant in
+docs/MODEL.md).
+
+:func:`compile_workload` compiles every thread of a workload model and
+memoizes the result in a process-wide :class:`OpStreamCache` keyed by
+the model's ``compile_key(n_threads)`` (workload identity x thread
+count), so repeated simulations of one workload at different V/f points
+skip generation and parsing entirely.  Streams are clock-independent,
+which is what makes the cache key V/f-free.
 """
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional
 
 OP_COMPUTE = 0
 OP_LOAD = 1
 OP_STORE = 2
 OP_BARRIER = 3
 OP_CRITICAL = 4
+
+
+def compile_stream(ops: Iterable[tuple]) -> List[tuple]:
+    """Materialize one thread's op stream, fusing adjacent compute bursts.
+
+    Runs of consecutive ``OP_COMPUTE`` ops become one fused 3-tuple
+    ``(OP_COMPUTE, total, segments)``; singletons stay plain 2-tuples.
+    Already-fused input ops are re-fused (compilation is idempotent).
+    All other ops pass through unchanged.
+    """
+    compiled: List[tuple] = []
+    append = compiled.append
+    segments: List[int] = []
+
+    def flush() -> None:
+        if not segments:
+            return
+        if len(segments) == 1:
+            append((OP_COMPUTE, segments[0]))
+        else:
+            append((OP_COMPUTE, sum(segments), tuple(segments)))
+        segments.clear()
+
+    for op in ops:
+        if op[0] == OP_COMPUTE:
+            if len(op) >= 3:
+                segments.extend(op[2])
+            else:
+                segments.append(op[1])
+        else:
+            flush()
+            append(op)
+    flush()
+    return compiled
+
+
+def stream_op_count(stream: List[tuple]) -> int:
+    """Number of *source* ops a compiled stream represents.
+
+    Fused compute bursts count one op per original segment, so the count
+    matches what the reference interpreter would execute.
+    """
+    count = 0
+    for op in stream:
+        if op[0] == OP_COMPUTE and len(op) >= 3:
+            count += len(op[2])
+        else:
+            count += 1
+    return count
+
+
+@dataclass
+class CompiledProgram:
+    """Every thread of one workload, compiled to flat op lists."""
+
+    streams: List[List[tuple]]
+    #: Source-op count across all threads (fused segments counted
+    #: individually, matching the reference interpreter's op count).
+    total_ops: int
+    #: Compiled (post-fusion) op count across all threads.
+    compiled_ops: int
+
+    @property
+    def n_threads(self) -> int:
+        """Number of per-thread streams."""
+        return len(self.streams)
+
+
+@dataclass
+class CompileOutcome:
+    """One :func:`compile_workload` call's result and provenance."""
+
+    program: CompiledProgram
+    #: True when the program came from the cache (warm compile).
+    from_cache: bool
+    #: Wall-clock seconds this call spent compiling (0 on a cache hit).
+    seconds: float
+
+
+class OpStreamCache:
+    """Bounded in-memory LRU cache of compiled programs.
+
+    Keys are whatever a workload's ``compile_key(n_threads)`` returns —
+    any hashable value that changes iff the generated streams change.
+    Compiled programs are immutable by convention (the simulator never
+    mutates a stream), so one cached program may back many concurrent
+    simulations in a process.
+    """
+
+    def __init__(self, maxsize: int = 32) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._programs: Dict[Hashable, CompiledProgram] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def get(self, key: Hashable) -> Optional[CompiledProgram]:
+        """The cached program for ``key``, refreshing its LRU position."""
+        program = self._programs.get(key)
+        if program is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        del self._programs[key]
+        self._programs[key] = program
+        return program
+
+    def put(self, key: Hashable, program: CompiledProgram) -> None:
+        """Insert a program, evicting the least recently used if full."""
+        if key in self._programs:
+            del self._programs[key]
+        elif len(self._programs) >= self.maxsize:
+            del self._programs[next(iter(self._programs))]
+        self._programs[key] = program
+
+    def clear(self) -> None:
+        """Drop every cached program (keeps hit/miss counters)."""
+        self._programs.clear()
+
+
+#: The process-wide compile cache :func:`compile_workload` consults.
+stream_cache = OpStreamCache()
+
+
+def compile_workload(
+    model,
+    n_threads: int,
+    cache: Optional[OpStreamCache] = stream_cache,
+) -> CompileOutcome:
+    """Compile (or fetch) every thread stream of ``model`` at ``n_threads``.
+
+    ``model`` follows the informal workload protocol
+    (``thread_ops(tid, n)``); if it also provides ``compile_key(n)``
+    returning a hashable key, the compiled program is memoized in
+    ``cache``.  Models without a key (or ``cache=None``) compile fresh
+    on every call.
+    """
+    key = None
+    if cache is not None and hasattr(model, "compile_key"):
+        key = model.compile_key(n_threads)
+    if key is not None:
+        program = cache.get(key)
+        if program is not None:
+            return CompileOutcome(program=program, from_cache=True, seconds=0.0)
+
+    start = time.perf_counter()
+    streams = [
+        compile_stream(model.thread_ops(t, n_threads)) for t in range(n_threads)
+    ]
+    program = CompiledProgram(
+        streams=streams,
+        total_ops=sum(stream_op_count(s) for s in streams),
+        compiled_ops=sum(len(s) for s in streams),
+    )
+    seconds = time.perf_counter() - start
+    if key is not None:
+        cache.put(key, program)
+    return CompileOutcome(program=program, from_cache=False, seconds=seconds)

@@ -202,6 +202,15 @@ class WorkloadModel:
             return n_threads & (n_threads - 1) == 0
         return True
 
+    def compile_key(self, n_threads: int):
+        """Identity of this model's op streams at ``n_threads``.
+
+        The spec (a frozen dataclass, seed included) determines every
+        generated op, so (spec, thread count) keys the
+        :class:`repro.sim.ops.OpStreamCache` exactly.
+        """
+        return ("workload-model", self.spec, n_threads)
+
     def supported_thread_counts(self, candidates) -> List[int]:
         """Filter a candidate list down to supported thread counts."""
         return [n for n in candidates if self.supports(n)]

@@ -63,6 +63,10 @@ class MultiprogrammedWorkload:
         """Filter candidates to the mix's size."""
         return [n for n in candidates if self.supports(n)]
 
+    def compile_key(self, n_threads: int):
+        """Identity of the mix's op streams for the compile cache."""
+        return ("mix", tuple(m.spec for m in self.models), n_threads)
+
     def core_timing(self) -> List[CoreTimingConfig]:
         """Per-core timing configs, one per program."""
         return [m.core_timing() for m in self.models]

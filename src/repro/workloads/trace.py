@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import gzip
 import io
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Sequence, Union
 
@@ -104,6 +105,23 @@ def _parse_int(token: str) -> int:
     return int(token, 16) if token.lower().startswith("0x") else int(token)
 
 
+@dataclass(frozen=True)
+class _ParsedTrace:
+    """The immutable outcome of parsing one trace file."""
+
+    threads: Dict[int, List[tuple]]
+    timing: CoreTimingConfig
+    n_threads: int
+    warmup_barriers: int
+
+
+#: Parsed traces keyed by (resolved path, mtime_ns, size): sweep points
+#: that construct a fresh TraceWorkload per simulation reuse one parse
+#: per process instead of re-reading the text file every time.
+_PARSE_CACHE: Dict[tuple, _ParsedTrace] = {}
+_PARSE_CACHE_MAX = 16
+
+
 class TraceWorkload:
     """A workload that replays a recorded (or externally produced) trace.
 
@@ -112,7 +130,9 @@ class TraceWorkload:
     ``core_timing()``, ``supports(n)``, ``thread_ops(tid, n)``, and
     ``warmup_barriers``.  The trace is parsed eagerly at construction
     (validation errors surface immediately) and replay is pure list
-    iteration.
+    iteration.  Parses are memoized per (path, mtime, size) process-wide,
+    so constructing the same trace for every point of a sweep reads the
+    file once; ``thread_ops`` always serves the in-memory lists.
     """
 
     #: Leading barriers that delimit untimed initialization; recorded
@@ -126,7 +146,32 @@ class TraceWorkload:
         self._threads: Dict[int, List[tuple]] = {}
         self._timing = CoreTimingConfig()
         self._n_threads = 0
+        stat = self.path.stat()
+        self._file_signature = (
+            str(self.path.resolve()),
+            stat.st_mtime_ns,
+            stat.st_size,
+        )
+        cached = _PARSE_CACHE.get(self._file_signature)
+        if cached is not None:
+            self._threads = cached.threads
+            self._timing = cached.timing
+            self._n_threads = cached.n_threads
+            self.warmup_barriers = cached.warmup_barriers
+            return
         self._parse()
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            del _PARSE_CACHE[next(iter(_PARSE_CACHE))]
+        _PARSE_CACHE[self._file_signature] = _ParsedTrace(
+            threads=self._threads,
+            timing=self._timing,
+            n_threads=self._n_threads,
+            warmup_barriers=self.warmup_barriers,
+        )
+
+    def compile_key(self, n_threads: int):
+        """Identity of this trace's op streams for the compile cache."""
+        return ("trace", self._file_signature, n_threads)
 
     def _parse(self) -> None:
         with _open_text(self.path, "r") as handle:

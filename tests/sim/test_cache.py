@@ -131,3 +131,84 @@ class TestStatistics:
             if cache.lookup(line) is None:
                 cache.insert(line, SHARED)
         assert cache.hits + cache.misses == len(addresses)
+
+
+class TestEvictionEdgeCases:
+    """LRU edges around insert/invalidate the full runs rarely hit."""
+
+    def test_reinsert_refreshes_lru_position(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.insert(1, SHARED)
+        cache.insert(2, SHARED)
+        cache.insert(1, SHARED)  # refresh 1: now 2 is LRU
+        victim = cache.insert(3, SHARED)
+        assert victim == (2, SHARED)
+
+    def test_invalidate_frees_the_slot(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.insert(1, MODIFIED)
+        cache.invalidate(1)
+        assert cache.insert(2, SHARED) is None  # no eviction needed
+        assert cache.evictions == 0
+
+    def test_invalidated_dirty_line_is_not_a_writeback(self):
+        # Invalidation transfers responsibility (the requester or the L2
+        # takes the data); only capacity evictions count writebacks.
+        cache = small_cache(assoc=1, sets=1)
+        cache.insert(1, MODIFIED)
+        cache.invalidate(1)
+        assert cache.writebacks == 0
+
+    def test_clean_eviction_counts_no_writeback(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.insert(1, EXCLUSIVE)
+        victim = cache.insert(2, SHARED)
+        assert victim == (1, EXCLUSIVE)
+        assert cache.evictions == 1
+        assert cache.writebacks == 0
+
+    def test_eviction_picks_oldest_of_full_set(self):
+        cache = small_cache(assoc=4, sets=1)
+        for line in (1, 2, 3, 4):
+            cache.insert(line, SHARED)
+        cache.lookup(1)
+        cache.lookup(2)
+        cache.lookup(3)
+        victim = cache.insert(5, SHARED)
+        assert victim == (4, SHARED)
+
+    def test_invalidate_wrong_set_untouched(self):
+        cache = small_cache(assoc=1, sets=2)
+        cache.insert(0, SHARED)  # set 0
+        assert cache.invalidate(1) is None  # set 1: absent
+        assert cache.probe(0) == SHARED
+
+
+class TestTouchHit:
+    """touch_hit must equal lookup (+ set_state) on a resident line."""
+
+    def test_counts_hit_and_moves_lru(self):
+        cache = small_cache(assoc=2, sets=1)
+        cache.insert(1, SHARED)
+        cache.insert(2, SHARED)
+        cache.touch_hit(1)
+        assert cache.hits == 1
+        victim = cache.insert(3, SHARED)
+        assert victim == (2, SHARED)  # 1 was refreshed
+
+    def test_state_rewrite_matches_upgrade(self):
+        cache = small_cache()
+        cache.insert(7, EXCLUSIVE)
+        cache.touch_hit(7, MODIFIED)  # the silent E->M store upgrade
+        assert cache.probe(7) == MODIFIED
+        assert cache.hits == 1
+
+    def test_matches_lookup_on_resident_line(self):
+        a, b = small_cache(assoc=2, sets=1), small_cache(assoc=2, sets=1)
+        for cache in (a, b):
+            cache.insert(1, SHARED)
+            cache.insert(2, SHARED)
+        a.lookup(1)
+        b.touch_hit(1)
+        assert a.hits == b.hits
+        assert [dict(s) for s in a._sets] == [dict(s) for s in b._sets]

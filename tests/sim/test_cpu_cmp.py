@@ -189,3 +189,62 @@ class TestCMPConfig:
             CMPConfig(n_cores=0)
         with pytest.raises(ConfigurationError):
             CMPConfig(frequency_hz=-1.0)
+
+
+class TestLockTable:
+    """Direct contention-accounting coverage for the shared lock table."""
+
+    def test_uncontended_acquire_granted_immediately(self):
+        from repro.sim.cpu import LockTable
+
+        locks = LockTable()
+        assert locks.acquire(1, 1000) == 1000
+        assert locks.acquires == 1
+        assert locks.contended_acquires == 0
+
+    def test_contended_acquire_waits_until_release(self):
+        from repro.sim.cpu import LockTable
+
+        locks = LockTable()
+        locks.acquire(1, 1000)
+        locks.release(1, 5000)
+        grant = locks.acquire(1, 2000)  # requested while held
+        assert grant == 5000
+        assert locks.acquires == 2
+        assert locks.contended_acquires == 1
+
+    def test_acquire_after_release_time_is_uncontended(self):
+        from repro.sim.cpu import LockTable
+
+        locks = LockTable()
+        locks.acquire(1, 0)
+        locks.release(1, 100)
+        assert locks.acquire(1, 200) == 200
+        assert locks.contended_acquires == 0
+
+    def test_request_exactly_at_release_is_uncontended(self):
+        from repro.sim.cpu import LockTable
+
+        locks = LockTable()
+        locks.acquire(1, 0)
+        locks.release(1, 100)
+        assert locks.acquire(1, 100) == 100
+        assert locks.contended_acquires == 0
+
+    def test_distinct_locks_never_contend(self):
+        from repro.sim.cpu import LockTable
+
+        locks = LockTable()
+        locks.acquire(1, 0)
+        locks.release(1, 10_000)
+        assert locks.acquire(2, 5) == 5
+        assert locks.contended_acquires == 0
+
+    def test_contention_surfaces_in_simulation_result(self):
+        threads = [
+            [(OP_CRITICAL, 9, 1000, 0x100)],
+            [(OP_CRITICAL, 9, 1000, 0x100)],
+        ]
+        result = run(threads, config=CMPConfig(n_cores=2))
+        assert result.lock_acquires == 2
+        assert result.lock_contended == 1

@@ -37,6 +37,13 @@ class TestParser:
             with pytest.raises(SystemExit):
                 build_parser().parse_args(["fig2", "--jobs", bad])
 
+    def test_profile_flag_on_experimental_sweeps(self):
+        for command in ("fig3", "fig4", "characterize"):
+            assert build_parser().parse_args([command, "--profile"]).profile
+            assert not build_parser().parse_args([command]).profile
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig1", "--profile"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -62,6 +69,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Barnes" in out
         assert "norm-P" in out
+        assert "[kernel]" not in out  # only printed under --profile
+
+    def test_fig3_profile_prints_kernel_summary(self, capsys):
+        assert main(
+            ["fig3", "--apps", "Barnes", "--scale", "0.05", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[kernel]" in out
+        assert "ops/s" in out
+        assert "fast-path" in out
 
     def test_fig4_tiny(self, capsys):
         assert main(["fig4", "--apps", "Radix", "--scale", "0.05"]) == 0

@@ -152,3 +152,73 @@ class TestHandAuthoredTraces:
         path = self.write(tmp_path, "!threads 1\n3 C 10\n")
         with pytest.raises(WorkloadError):
             TraceWorkload(path)
+
+
+class TestParseOnce:
+    """The trace file is read once per (path, mtime, size) per process."""
+
+    def write(self, tmp_path, name="once.trace"):
+        path = tmp_path / name
+        path.write_text(
+            "!threads 2\n"
+            "0 C 10\n0 L 0x40\n0 B 0\n"
+            "1 C 20\n1 S 0x80\n1 B 0\n",
+            encoding="ascii",
+        )
+        return path
+
+    def test_second_construction_skips_the_file(self, tmp_path, monkeypatch):
+        from repro.workloads import trace as trace_module
+
+        path = self.write(tmp_path)
+        opens = []
+        real_open = trace_module._open_text
+
+        def counting_open(p, mode):
+            opens.append(str(p))
+            return real_open(p, mode)
+
+        monkeypatch.setattr(trace_module, "_open_text", counting_open)
+        first = TraceWorkload(path)
+        second = TraceWorkload(path)
+        assert len(opens) == 1
+        assert list(second.thread_ops(0, 2)) == list(first.thread_ops(0, 2))
+        assert second.warmup_barriers == first.warmup_barriers
+        assert second.core_timing() == first.core_timing()
+
+    def test_thread_ops_never_reopens(self, tmp_path, monkeypatch):
+        from repro.workloads import trace as trace_module
+
+        path = self.write(tmp_path, "never.trace")
+        workload = TraceWorkload(path)
+
+        def forbidden_open(p, mode):
+            raise AssertionError("thread_ops must not touch the file")
+
+        monkeypatch.setattr(trace_module, "_open_text", forbidden_open)
+        for _ in range(3):
+            assert list(workload.thread_ops(1, 2))
+
+    def test_modified_file_is_reparsed(self, tmp_path):
+        import os
+
+        path = self.write(tmp_path, "mod.trace")
+        first = TraceWorkload(path)
+        text = path.read_text(encoding="ascii") + "0 C 99\n"
+        path.write_text(text, encoding="ascii")
+        os.utime(path, ns=(1, 1))  # force a distinct mtime signature
+        second = TraceWorkload(path)
+        assert second.operation_count() == first.operation_count() + 1
+
+    def test_compile_key_distinguishes_trace_versions(self, tmp_path):
+        import os
+
+        path = self.write(tmp_path, "key.trace")
+        first_key = TraceWorkload(path).compile_key(2)
+        path.write_text(
+            path.read_text(encoding="ascii") + "1 C 1\n", encoding="ascii"
+        )
+        os.utime(path, ns=(2, 2))
+        second_key = TraceWorkload(path).compile_key(2)
+        assert first_key != second_key
+        assert first_key[0] == "trace"
