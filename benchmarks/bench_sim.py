@@ -14,12 +14,17 @@ ops per host second three ways:
 2. ``fast_cold`` — compiled streams (compile time included) on the
    fast-path kernel;
 3. ``fast_warm`` — compile cache warm (the sweep steady state: every
-   V/f point after the first reuses the compiled streams).
+   V/f point after the first reuses the compiled streams);
+4. ``fast_warm_telemetry`` — same as ``fast_warm`` but with an enabled
+   :class:`repro.telemetry.trace.Tracer` installed, measuring what
+   ``--telemetry-dir`` costs in the kernel loop.  The run doubles the
+   geomean tracing overhead into the summary, and the benchmark exits
+   non-zero when it exceeds ``--max-telemetry-overhead`` (default 5%).
 
 Each mode runs ``--repeats`` times and keeps the best (least-noise)
-time.  Counters are asserted identical between reference and fast on
-every point, so the benchmark doubles as an end-to-end equivalence
-check.
+time.  Counters are asserted identical between reference, fast, and
+fast-with-telemetry on every point, so the benchmark doubles as an
+end-to-end equivalence check.
 
 ``--check BASELINE.json`` guards against perf regressions in CI: for
 every point present in both runs it compares ``speedup_warm`` (warm
@@ -42,6 +47,7 @@ from dataclasses import asdict
 
 from repro.sim import ChipMultiprocessor, CMPConfig
 from repro.sim.ops import OpStreamCache, compile_workload
+from repro.telemetry.trace import Tracer, get_tracer, set_tracer
 from repro.workloads import WorkloadModel, workload_by_name
 
 FULL_APPS = ("FMM", "LU", "Ocean", "Radix")
@@ -87,23 +93,39 @@ def bench_point(app: str, n: int, scale: float, repeats: int) -> dict:
         )
         return result, time.perf_counter() - start
 
+    def traced_fast_run(cache):
+        tracer = Tracer(enabled=True)
+        previous = get_tracer()
+        set_tracer(tracer)
+        try:
+            return fast_run(cache)
+        finally:
+            tracer.drain_records()
+            set_tracer(previous)
+
     best = {}
-    reference = fast = None
+    reference = fast = traced = None
     for _ in range(repeats):
         reference, t_ref = reference_run()
         cold_cache = OpStreamCache()
         fast, t_cold = fast_run(cold_cache)  # compile included
         fast, t_warm = fast_run(cold_cache)  # cache hit
+        traced, t_traced = traced_fast_run(cold_cache)  # cache hit + tracer
         for mode, seconds in (
             ("reference", t_ref),
             ("fast_cold", t_cold),
             ("fast_warm", t_warm),
+            ("fast_warm_telemetry", t_traced),
         ):
             best[mode] = min(best.get(mode, math.inf), seconds)
 
     if counters(reference) != counters(fast):
         raise AssertionError(
             f"{app} n={n}: fast path diverged from the reference interpreter"
+        )
+    if counters(reference) != counters(traced):
+        raise AssertionError(
+            f"{app} n={n}: enabling telemetry changed the simulated counters"
         )
 
     ops = reference.kernel.total_ops
@@ -118,6 +140,9 @@ def bench_point(app: str, n: int, scale: float, repeats: int) -> dict:
         point[f"{mode}_ops_per_sec"] = round(ops / seconds, 1)
     point["speedup_cold"] = round(best["reference"] / best["fast_cold"], 3)
     point["speedup_warm"] = round(best["reference"] / best["fast_warm"], 3)
+    point["telemetry_overhead"] = round(
+        best["fast_warm_telemetry"] / best["fast_warm"] - 1.0, 4
+    )
     return point
 
 
@@ -137,9 +162,11 @@ def run_benchmark(args) -> dict:
                 f"{app:6s} n={n:2d}: ref {point['reference_ops_per_sec']:>11,.0f} "
                 f"ops/s, warm {point['fast_warm_ops_per_sec']:>11,.0f} ops/s "
                 f"({point['speedup_warm']:.2f}x, "
-                f"fast-path {100 * point['fast_path_ratio']:.1f}%)"
+                f"fast-path {100 * point['fast_path_ratio']:.1f}%, "
+                f"telemetry {100 * point['telemetry_overhead']:+.1f}%)"
             )
     warm = [p["speedup_warm"] for p in points]
+    overhead_ratios = [1.0 + p["telemetry_overhead"] for p in points]
     return {
         "schema": SCHEMA,
         "host": {
@@ -157,6 +184,10 @@ def run_benchmark(args) -> dict:
             "geomean_speedup_warm": round(geomean(warm), 3),
             "min_speedup_warm": min(warm),
             "max_speedup_warm": max(warm),
+            "geomean_telemetry_overhead": round(
+                geomean(overhead_ratios) - 1.0, 4
+            ),
+            "max_telemetry_overhead": max(p["telemetry_overhead"] for p in points),
         },
     }
 
@@ -226,6 +257,15 @@ def main() -> int:
         default=0.30,
         help="allowed fractional speedup regression for --check (default: 0.30)",
     )
+    parser.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=0.05,
+        help=(
+            "fail when the geomean tracing slowdown exceeds this fraction "
+            "(default: 0.05; negative disables the gate)"
+        ),
+    )
     args = parser.parse_args()
 
     report = run_benchmark(args)
@@ -235,6 +275,15 @@ def main() -> int:
         f"min {summary['min_speedup_warm']:.2f}x, "
         f"max {summary['max_speedup_warm']:.2f}x"
     )
+    overhead = summary["geomean_telemetry_overhead"]
+    print(f"telemetry overhead: geomean {100 * overhead:+.1f}%")
+    if 0 <= args.max_telemetry_overhead < overhead:
+        print(
+            f"[check] REGRESSION: telemetry overhead {overhead:.1%} exceeds "
+            f"the {args.max_telemetry_overhead:.0%} budget",
+            file=sys.stderr,
+        )
+        return 1
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)

@@ -18,9 +18,15 @@ processes, and ``--cache DIR`` to memoize completed points on disk so a
 re-run only simulates points whose configuration changed
 (``--no-cache`` disables a configured cache for one invocation).
 
-The experimental sweeps (``fig3``, ``fig4``, ``characterize``) also
-accept ``--profile`` to print how the simulation kernel performed:
-ops/sec, fast-path hit ratio, and per-subsystem slow-path time.
+Every sweep accepts ``--profile`` to print executor/cache statistics
+(and, for the experimental sweeps, how the simulation kernel performed:
+ops/sec, fast-path hit ratio, per-subsystem slow-path time) and
+``--telemetry-dir DIR`` to record a structured run manifest, per-point
+JSONL events, and span traces under ``DIR/<run_id>/`` (see
+docs/OBSERVABILITY.md).  ``repro trace export|metrics|validate`` reads
+those artifacts back: ``export`` writes Chrome ``trace_event`` JSON for
+chrome://tracing / Perfetto, ``metrics`` prints a per-phase wall-time
+table, ``validate`` checks a run against the manifest schema.
 """
 
 from __future__ import annotations
@@ -81,20 +87,59 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="ignore --cache for this invocation (recompute everything)",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "record a run manifest, per-point events, and span traces "
+            "under DIR/<run_id>/ (default: no telemetry)"
+        ),
+    )
 
 
-def _executor_from_args(args):
+def _executor_from_args(args, telemetry_run=None):
     from repro.harness.executor import ResultCache, SweepExecutor
 
     cache = None
     if args.cache and not args.no_cache:
         cache = ResultCache(args.cache)
-    return SweepExecutor(jobs=args.jobs, cache=cache)
+    executor = SweepExecutor(jobs=args.jobs, cache=cache)
+    executor.telemetry_run = telemetry_run
+    return executor
 
 
-def _print_executor_summary(executor) -> None:
+def _telemetry_run_from_args(args, command: str):
+    """Enable tracing and open a run directory when ``--telemetry-dir`` is set.
+
+    Tracing must be on before the worker pool forks so the children
+    inherit the enabled tracer (and with it the shared wall-clock
+    anchor).
+    """
+    if not getattr(args, "telemetry_dir", None):
+        return None
+    from repro.telemetry import TelemetryRun, enable_tracing
+
+    enable_tracing()
+    return TelemetryRun(
+        args.telemetry_dir, command=command, argv=list(sys.argv[1:])
+    )
+
+
+def _finalize_telemetry(telemetry_run, executor) -> None:
+    if telemetry_run is None:
+        return
+    telemetry_run.finalize(executor=executor)
+    print(f"[telemetry] run {telemetry_run.run_id}: {telemetry_run.directory}")
+
+
+def _print_executor_summary(executor, args=None) -> None:
     stats = executor.stats
-    if executor.cache is not None or stats.failures:
+    if getattr(args, "profile", False):
+        print(stats.summary())
+        if executor.cache is not None:
+            print(executor.cache.stats.summary())
+    elif executor.cache is not None or stats.failures:
         print(
             f"[executor] {stats.evaluated} evaluated, "
             f"{stats.cache_hits} cache hits, {stats.failures} failures"
@@ -112,8 +157,13 @@ def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _print_kernel_summary(context, args) -> None:
+def _print_kernel_summary(context, args, executor=None) -> None:
     if getattr(args, "profile", False):
+        if executor is not None:
+            # Pull worker-process and cache-replay kernel records into
+            # the context's aggregate so the summary covers parallel and
+            # warm-cache sweeps, not just in-process simulations.
+            executor.fold_telemetry_into(context.kernel_log)
         print(context.kernel_log.summary())
 
 
@@ -139,10 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig1 = commands.add_parser("fig1", help="analytical Figure 1")
     _add_tech_argument(fig1)
     _add_executor_arguments(fig1)
+    _add_profile_argument(fig1)
 
     fig2 = commands.add_parser("fig2", help="analytical Figure 2")
     _add_tech_argument(fig2)
     _add_executor_arguments(fig2)
+    _add_profile_argument(fig2)
 
     fig3 = commands.add_parser("fig3", help="experimental Figure 3")
     _add_apps_argument(fig3, ("FMM", "LU", "Ocean", "Cholesky", "Radix"))
@@ -164,6 +216,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_argument(characterize)
 
     commands.add_parser("info", help="machine and suite summary")
+
+    trace = commands.add_parser(
+        "trace", help="inspect recorded telemetry runs"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    for name, help_text in (
+        ("export", "write Chrome trace_event JSON for chrome://tracing"),
+        ("metrics", "print per-phase span counts and wall time"),
+        ("validate", "check a run directory against the manifest schema"),
+    ):
+        sub = trace_commands.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--telemetry-dir",
+            required=True,
+            metavar="DIR",
+            help="telemetry directory a sweep wrote runs into",
+        )
+        sub.add_argument(
+            "--run",
+            default=None,
+            metavar="RUN_ID",
+            help="run to read (default: the newest run in DIR)",
+        )
+        if name == "export":
+            sub.add_argument(
+                "--output",
+                default="trace.json",
+                help="output file (default: trace.json)",
+            )
 
     report = commands.add_parser(
         "report", help="run everything and write a markdown report"
@@ -199,40 +280,48 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_fig1(args) -> int:
     chip = AnalyticalChipModel(technology_by_name(args.tech))
-    executor = _executor_from_args(args)
-    curves = figure1_sweep(chip, efficiency_points=41, executor=executor)
-    rows = []
-    for curve in curves:
-        pairs = list(zip(curve.efficiencies, curve.normalized_power))
-        for eps, power in pairs:
-            if round(eps * 100) % 10 == 0:  # print a decile grid
-                rows.append([curve.n, eps, power])
-    print(
-        render_table(
-            ["N", "eps_n", "P_N / P_1"],
-            rows,
-            title=f"Figure 1 ({args.tech}): normalized power at iso-performance",
+    telemetry_run = _telemetry_run_from_args(args, "fig1")
+    executor = _executor_from_args(args, telemetry_run)
+    try:
+        curves = figure1_sweep(chip, efficiency_points=41, executor=executor)
+        rows = []
+        for curve in curves:
+            pairs = list(zip(curve.efficiencies, curve.normalized_power))
+            for eps, power in pairs:
+                if round(eps * 100) % 10 == 0:  # print a decile grid
+                    rows.append([curve.n, eps, power])
+        print(
+            render_table(
+                ["N", "eps_n", "P_N / P_1"],
+                rows,
+                title=f"Figure 1 ({args.tech}): normalized power at iso-performance",
+            )
         )
-    )
-    _print_executor_summary(executor)
-    return 0
+        _print_executor_summary(executor, args)
+        return 0
+    finally:
+        _finalize_telemetry(telemetry_run, executor)
 
 
 def _cmd_fig2(args) -> int:
     chip = AnalyticalChipModel(technology_by_name(args.tech))
-    executor = _executor_from_args(args)
-    curve = figure2_sweep(chip, executor=executor)
-    print(
-        render_table(
-            ["N", "speedup", "regime"],
-            list(zip(curve.core_counts, curve.speedups, curve.regimes)),
-            title=f"Figure 2 ({args.tech}): speedup under the 1-core power budget",
+    telemetry_run = _telemetry_run_from_args(args, "fig2")
+    executor = _executor_from_args(args, telemetry_run)
+    try:
+        curve = figure2_sweep(chip, executor=executor)
+        print(
+            render_table(
+                ["N", "speedup", "regime"],
+                list(zip(curve.core_counts, curve.speedups, curve.regimes)),
+                title=f"Figure 2 ({args.tech}): speedup under the 1-core power budget",
+            )
         )
-    )
-    n_peak, s_peak = curve.peak()
-    print(f"peak: {s_peak:.2f}x at N = {n_peak}")
-    _print_executor_summary(executor)
-    return 0
+        n_peak, s_peak = curve.peak()
+        print(f"peak: {s_peak:.2f}x at N = {n_peak}")
+        _print_executor_summary(executor, args)
+        return 0
+    finally:
+        _finalize_telemetry(telemetry_run, executor)
 
 
 def _experimental_context(scale: float, profile: bool = False):
@@ -242,64 +331,82 @@ def _experimental_context(scale: float, profile: bool = False):
     return ExperimentContext(workload_scale=scale, profile=profile)
 
 
+def _set_context_fingerprint(telemetry_run, context) -> None:
+    if telemetry_run is None:
+        return
+    from repro.harness.executor import config_key
+
+    telemetry_run.set_context_fingerprint(config_key(context.fingerprint()))
+
+
 def _cmd_fig3(args) -> int:
     from repro.harness import run_scenario1
     from repro.workloads import workload_by_name
 
+    telemetry_run = _telemetry_run_from_args(args, "fig3")
     context = _experimental_context(args.scale, args.profile)
-    executor = _executor_from_args(args)
-    models = [workload_by_name(app) for app in args.apps]
-    results = run_scenario1(context, models, executor=executor)
-    rows = [
-        [
-            app,
-            r.n,
-            r.nominal_efficiency,
-            r.actual_speedup,
-            r.normalized_power,
-            r.normalized_power_density,
-            r.average_temperature_c,
+    _set_context_fingerprint(telemetry_run, context)
+    executor = _executor_from_args(args, telemetry_run)
+    try:
+        models = [workload_by_name(app) for app in args.apps]
+        results = run_scenario1(context, models, executor=executor)
+        rows = [
+            [
+                app,
+                r.n,
+                r.nominal_efficiency,
+                r.actual_speedup,
+                r.normalized_power,
+                r.normalized_power_density,
+                r.average_temperature_c,
+            ]
+            for app, app_rows in results.items()
+            for r in app_rows
         ]
-        for app, app_rows in results.items()
-        for r in app_rows
-    ]
-    print(
-        render_table(
-            ["app", "N", "eps_n", "speedup", "norm-P", "norm-dens", "T (C)"],
-            rows,
-            title="Figure 3: experimental Scenario I",
+        print(
+            render_table(
+                ["app", "N", "eps_n", "speedup", "norm-P", "norm-dens", "T (C)"],
+                rows,
+                title="Figure 3: experimental Scenario I",
+            )
         )
-    )
-    _print_executor_summary(executor)
-    _print_kernel_summary(context, args)
-    return 0
+        _print_executor_summary(executor, args)
+        _print_kernel_summary(context, args, executor)
+        return 0
+    finally:
+        _finalize_telemetry(telemetry_run, executor)
 
 
 def _cmd_fig4(args) -> int:
     from repro.harness import run_scenario2
     from repro.workloads import workload_by_name
 
+    telemetry_run = _telemetry_run_from_args(args, "fig4")
     context = _experimental_context(args.scale, args.profile)
-    executor = _executor_from_args(args)
-    models = [workload_by_name(app) for app in args.apps]
-    results = run_scenario2(
-        context, models, core_counts=(1, 2, 4, 8, 12, 16), executor=executor
-    )
-    rows = [
-        [app, r.n, r.nominal_speedup, r.actual_speedup, r.frequency_hz / 1e9, r.power_w]
-        for app, app_rows in results.items()
-        for r in app_rows
-    ]
-    print(
-        render_table(
-            ["app", "N", "nominal", "actual", "f (GHz)", "P (W)"],
-            rows,
-            title="Figure 4: speedup under the 1-core power budget",
+    _set_context_fingerprint(telemetry_run, context)
+    executor = _executor_from_args(args, telemetry_run)
+    try:
+        models = [workload_by_name(app) for app in args.apps]
+        results = run_scenario2(
+            context, models, core_counts=(1, 2, 4, 8, 12, 16), executor=executor
         )
-    )
-    _print_executor_summary(executor)
-    _print_kernel_summary(context, args)
-    return 0
+        rows = [
+            [app, r.n, r.nominal_speedup, r.actual_speedup, r.frequency_hz / 1e9, r.power_w]
+            for app, app_rows in results.items()
+            for r in app_rows
+        ]
+        print(
+            render_table(
+                ["app", "N", "nominal", "actual", "f (GHz)", "P (W)"],
+                rows,
+                title="Figure 4: speedup under the 1-core power budget",
+            )
+        )
+        _print_executor_summary(executor, args)
+        _print_kernel_summary(context, args, executor)
+        return 0
+    finally:
+        _finalize_telemetry(telemetry_run, executor)
 
 
 def _cmd_characterize(args) -> int:
@@ -308,40 +415,47 @@ def _cmd_characterize(args) -> int:
     from repro.harness.profiling import SimPointTask, sim_point_key, simulate_point
     from repro.workloads import SPLASH2
 
+    telemetry_run = _telemetry_run_from_args(args, "characterize")
     context = _experimental_context(args.scale, args.profile)
-    executor = _executor_from_args(args)
-    # One flat fan-out over every (application, N) profiling point.
-    tasks = [
-        SimPointTask(spec=model.spec, n=n) for model in SPLASH2 for n in (1, 16)
-    ]
-    points = executor.map_values(
-        partial(simulate_point, context),
-        tasks,
-        key_configs=[sim_point_key(context, task) for task in tasks],
-    )
-    rows = []
-    for index, model in enumerate(SPLASH2):
-        one, sixteen = points[2 * index], points[2 * index + 1]
-        rows.append(
-            [
-                model.name,
-                one.average_cpi,
-                one.l1_miss_rate,
-                one.memory_stall_fraction,
-                one.execution_time_ps / (16 * sixteen.execution_time_ps),
-                one.total_power_w,
-            ]
+    _set_context_fingerprint(telemetry_run, context)
+    executor = _executor_from_args(args, telemetry_run)
+    try:
+        # One flat fan-out over every (application, N) profiling point.
+        tasks = [
+            SimPointTask(spec=model.spec, n=n)
+            for model in SPLASH2
+            for n in (1, 16)
+        ]
+        points = executor.map_values(
+            partial(simulate_point, context),
+            tasks,
+            key_configs=[sim_point_key(context, task) for task in tasks],
         )
-    print(
-        render_table(
-            ["app", "CPI", "L1 miss", "mem-stall", "eps_n(16)", "P1 (W)"],
-            rows,
-            title="SPLASH-2 workload models at nominal V/f",
+        rows = []
+        for index, model in enumerate(SPLASH2):
+            one, sixteen = points[2 * index], points[2 * index + 1]
+            rows.append(
+                [
+                    model.name,
+                    one.average_cpi,
+                    one.l1_miss_rate,
+                    one.memory_stall_fraction,
+                    one.execution_time_ps / (16 * sixteen.execution_time_ps),
+                    one.total_power_w,
+                ]
+            )
+        print(
+            render_table(
+                ["app", "CPI", "L1 miss", "mem-stall", "eps_n(16)", "P1 (W)"],
+                rows,
+                title="SPLASH-2 workload models at nominal V/f",
+            )
         )
-    )
-    _print_executor_summary(executor)
-    _print_kernel_summary(context, args)
-    return 0
+        _print_executor_summary(executor, args)
+        _print_kernel_summary(context, args, executor)
+        return 0
+    finally:
+        _finalize_telemetry(telemetry_run, executor)
 
 
 def _cmd_info(_args) -> int:
@@ -370,6 +484,37 @@ def _cmd_info(_args) -> int:
             title="Table 2 applications",
         )
     )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.telemetry import (
+        export_chrome_trace,
+        metrics_table,
+        resolve_run_dir,
+        validate_run_dir,
+    )
+
+    try:
+        run_dir = resolve_run_dir(args.telemetry_dir, args.run)
+        if args.trace_command == "export":
+            document = export_chrome_trace(run_dir, args.output)
+            print(
+                f"wrote {args.output} "
+                f"({len(document['traceEvents'])} trace events from {run_dir})"
+            )
+        elif args.trace_command == "metrics":
+            print(metrics_table(run_dir))
+        else:  # validate
+            summary = validate_run_dir(run_dir)
+            print(
+                f"{run_dir}: OK — status {summary['manifest']['status']!r}, "
+                f"{summary['points']} point events, {summary['spans']} spans"
+            )
+    except ConfigurationError as exc:
+        print(f"trace {args.trace_command}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -418,6 +563,7 @@ _COMMANDS = {
     "fig4": _cmd_fig4,
     "characterize": _cmd_characterize,
     "info": _cmd_info,
+    "trace": _cmd_trace,
     "report": _cmd_report,
     "verify": _cmd_verify,
 }

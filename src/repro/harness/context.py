@@ -22,6 +22,7 @@ from repro.power.wattch import UnitEnergies, WattchModel
 from repro.sim.cmp import ChipMultiprocessor, CMPConfig, SimulationResult
 from repro.sim.ops import compile_workload
 from repro.tech.technology import NODE_65NM, TechnologyNode, VFTable
+from repro.telemetry.record import record_kernel
 from repro.thermal.floorplan import cmp_floorplan
 from repro.thermal.hotspot import HotSpotModel
 from repro.workloads.base import WorkloadModel
@@ -153,5 +154,9 @@ class ExperimentContext:
             result.kernel.compile_s = compiled.seconds
             result.kernel.compile_cache_hit = compiled.from_cache
             self.kernel_log.add(result.kernel)
+            # Worker processes aggregate into a pickled *copy* of this
+            # context; the capture buffer is how their stats reach the
+            # coordinator (no-op outside an executor point evaluation).
+            record_kernel(result.kernel)
         power = self.chip_power.evaluate(result)
         return result, power

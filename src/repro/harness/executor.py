@@ -41,13 +41,20 @@ import hashlib
 import importlib
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError, ReproError
 from repro.harness.schema import SCHEMA_VERSION
+from repro.telemetry.record import (
+    PointTelemetry,
+    begin_point_capture,
+    end_point_capture,
+)
+from repro.telemetry.trace import get_tracer, now_us
 
 PathLike = Union[str, Path]
 
@@ -210,6 +217,10 @@ class PointOutcome:
     value: Any
     failure: Optional[SweepFailure] = None
     cached: bool = False
+    #: What the evaluation reported about itself: evaluating pid, wall
+    #: time, per-run kernel stats, span trees.  For cached outcomes this
+    #: is the *original* evaluation's telemetry, replayed from the cache.
+    telemetry: Optional[PointTelemetry] = None
 
     @property
     def ok(self) -> bool:
@@ -237,11 +248,22 @@ class CacheStats:
     stores: int = 0
     quarantined: int = 0
 
+    def summary(self) -> str:
+        """One human-readable line (printed under ``--profile``)."""
+        line = (
+            f"[cache] {self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stores"
+        )
+        if self.quarantined:
+            line += f", {self.quarantined} quarantined"
+        return line
+
 
 @dataclass(frozen=True)
 class _CachedResult:
     value: Any
     failure: Optional[SweepFailure]
+    telemetry: Optional[PointTelemetry] = None
 
 
 class ResultCache:
@@ -291,10 +313,19 @@ class ResultCache:
                 )
             if document.get("key") != key:
                 raise ConfigurationError(f"{path}: key mismatch")
+            telemetry = None
+            if "telemetry" in document:
+                telemetry = decode_value(document["telemetry"])
+                if telemetry is not None and not isinstance(
+                    telemetry, PointTelemetry
+                ):
+                    raise ConfigurationError(f"{path}: malformed telemetry")
             status = document.get("status")
             if status == "ok":
                 result = _CachedResult(
-                    value=decode_value(document["value"]), failure=None
+                    value=decode_value(document["value"]),
+                    failure=None,
+                    telemetry=telemetry,
                 )
             elif status == "error":
                 error = document["error"]
@@ -304,6 +335,7 @@ class ResultCache:
                         error_type=str(error["type"]),
                         message=str(error["message"]),
                     ),
+                    telemetry=telemetry,
                 )
             else:
                 raise ConfigurationError(f"{path}: unknown status {status!r}")
@@ -316,7 +348,12 @@ class ResultCache:
         return result
 
     def put(self, key: str, outcome: PointOutcome) -> None:
-        """Persist one evaluated point (success or typed failure)."""
+        """Persist one evaluated point (success or typed failure).
+
+        The point's :class:`~repro.telemetry.record.PointTelemetry`
+        rides along, so a warm-cache rerun can still account for the
+        original evaluation's kernel stats.
+        """
         document = {"schema": self.schema_version, "key": key}
         if outcome.failure is None:
             document["status"] = "ok"
@@ -327,6 +364,13 @@ class ResultCache:
                 "type": outcome.failure.error_type,
                 "message": outcome.failure.message,
             }
+        if outcome.telemetry is not None:
+            # Spans are stripped: replaying stale span timestamps into a
+            # later run's trace would be misleading; kernel records are
+            # what warm-cache profile accounting needs.
+            document["telemetry"] = encode_value(
+                dataclasses.replace(outcome.telemetry, spans=())
+            )
         path = self.path_for(key)
         tmp = path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(document, indent=1), encoding="utf-8")
@@ -361,18 +405,48 @@ class ExecutorStats:
     failures: int = 0
     uncacheable: int = 0
 
+    def summary(self) -> str:
+        """One human-readable line (printed under ``--profile``)."""
+        line = (
+            f"[executor] {self.evaluated} evaluated, "
+            f"{self.cache_hits} cache hits, {self.failures} failures"
+        )
+        if self.uncacheable:
+            line += f", {self.uncacheable} uncacheable"
+        return line
+
 
 @dataclass(frozen=True)
 class _PointCall:
-    """Picklable wrapper that turns library errors into typed results."""
+    """Picklable wrapper that turns library errors into typed results.
+
+    Each call is bracketed by a telemetry capture window: the kernel
+    stats of every simulation the point runs, plus any span trees the
+    evaluating process completed, come back with the status tuple as a
+    :class:`~repro.telemetry.record.PointTelemetry` — the outcome
+    channel that makes worker- and cache-side profiling visible to the
+    coordinator.
+    """
 
     fn: Callable[[Any], Any]
 
     def __call__(self, point: Any):
+        begin_point_capture()
+        start_us = now_us()
+        start = time.perf_counter()
         try:
-            return ("ok", self.fn(point))
+            status = ("ok", self.fn(point))
         except ReproError as exc:
-            return ("error", type(exc).__name__, str(exc))
+            status = ("error", type(exc).__name__, str(exc))
+        wall_s = time.perf_counter() - start
+        telemetry = PointTelemetry(
+            pid=os.getpid(),
+            start_us=start_us,
+            wall_s=wall_s,
+            kernels=end_point_capture(),
+            spans=tuple(get_tracer().drain_records()),
+        )
+        return status + (telemetry,)
 
 
 class SweepExecutor:
@@ -407,6 +481,12 @@ class SweepExecutor:
         self.cache = cache
         self.chunksize = chunksize
         self.stats = ExecutorStats()
+        #: Optional :class:`~repro.telemetry.manifest.TelemetryRun`; when
+        #: set, every outcome is logged to its events/spans JSONL files.
+        self.telemetry_run = None
+        #: Per-point telemetry awaiting :meth:`fold_telemetry_into`
+        #: (``(telemetry, cached)`` pairs, accumulated across ``map`` calls).
+        self._telemetry_log: List[Tuple[PointTelemetry, bool]] = []
 
     def map(
         self,
@@ -448,10 +528,13 @@ class SweepExecutor:
                         value=entry.value,
                         failure=entry.failure,
                         cached=True,
+                        telemetry=entry.telemetry,
                     )
                     self.stats.cache_hits += 1
                     if entry.failure is not None:
                         self.stats.failures += 1
+                    if entry.telemetry is not None:
+                        self._telemetry_log.append((entry.telemetry, True))
                     continue
             pending.append(index)
 
@@ -469,9 +552,13 @@ class SweepExecutor:
                     raw = list(pool.map(call, todo, chunksize=chunk))
             for index, result in zip(pending, raw):
                 self.stats.evaluated += 1
+                telemetry = result[-1]
                 if result[0] == "ok":
                     outcome = PointOutcome(
-                        index=index, key=keys[index], value=result[1]
+                        index=index,
+                        key=keys[index],
+                        value=result[1],
+                        telemetry=telemetry,
                     )
                 else:
                     outcome = PointOutcome(
@@ -481,15 +568,40 @@ class SweepExecutor:
                         failure=SweepFailure(
                             error_type=result[1], message=result[2]
                         ),
+                        telemetry=telemetry,
                     )
                     self.stats.failures += 1
+                if telemetry is not None:
+                    self._telemetry_log.append((telemetry, False))
                 if use_cache:
                     try:
                         self.cache.put(keys[index], outcome)
                     except ConfigurationError:
                         self.stats.uncacheable += 1
                 outcomes[index] = outcome
+        if self.telemetry_run is not None:
+            for outcome in outcomes:
+                self.telemetry_run.record_point(outcome)
         return outcomes  # type: ignore[return-value]
+
+    def fold_telemetry_into(self, aggregate) -> None:
+        """Fold collected kernel records into a ``KernelAggregate``.
+
+        The coordinator's :class:`~repro.harness.context.ExperimentContext`
+        already logs simulations it ran in-process, so this folds only
+        the two sources it cannot see — worker-process evaluations and
+        cache replays (added as *cached runs*) — and drains the log so
+        repeated calls never double-count.
+        """
+        own_pid = os.getpid()
+        drained, self._telemetry_log = self._telemetry_log, []
+        for telemetry, cached in drained:
+            if cached:
+                for kernel in telemetry.kernels:
+                    aggregate.add_record(kernel, cached=True)
+            elif telemetry.pid != own_pid:
+                for kernel in telemetry.kernels:
+                    aggregate.add_record(kernel)
 
     def map_values(
         self,

@@ -28,12 +28,22 @@ class KernelAggregate:
     :meth:`ExperimentContext.run <repro.harness.context.ExperimentContext.run>`
     feeds every run's :class:`~repro.sim.cmp.KernelStats` into the
     context's aggregate, so a whole figure pipeline can report one
-    ops/sec + fast-path summary (the ``--profile`` CLI flag).  Only runs
-    executed in this process are seen — points fanned out to worker
-    processes or served from the result cache contribute nothing.
+    ops/sec + fast-path summary (the ``--profile`` CLI flag).  Runs are
+    counted wherever they happened: simulations fanned out to worker
+    processes come back as
+    :class:`~repro.telemetry.record.KernelRecord` telemetry through the
+    executor's outcome channel
+    (:meth:`~repro.harness.executor.SweepExecutor.fold_telemetry_into`),
+    and points served from the result cache replay the original
+    evaluation's records, counted separately as :attr:`cached_runs`.
     """
 
+    #: Simulations executed for this aggregate (any process).
     runs: int = 0
+    #: Simulations replayed from the result cache; their op counters are
+    #: included in the totals below, but their wall time reflects the
+    #: *original* evaluation, not this invocation.
+    cached_runs: int = 0
     total_ops: int = 0
     fast_path_ops: int = 0
     slow_path_ops: int = 0
@@ -44,8 +54,22 @@ class KernelAggregate:
     subsystem_s: Dict[str, float] = field(default_factory=dict)
 
     def add(self, kernel: KernelStats) -> None:
-        """Fold one run's kernel stats into the aggregate."""
-        self.runs += 1
+        """Fold one in-process run's kernel stats into the aggregate."""
+        self.add_record(kernel)
+
+    def add_record(self, kernel, cached: bool = False) -> None:
+        """Fold one run into the aggregate.
+
+        ``kernel`` is any :class:`~repro.sim.cmp.KernelStats`-shaped
+        object, including the flattened
+        :class:`~repro.telemetry.record.KernelRecord` that crosses
+        process boundaries (its ``subsystem_s`` is a tuple of pairs
+        rather than a dict).  ``cached`` marks a cache replay.
+        """
+        if cached:
+            self.cached_runs += 1
+        else:
+            self.runs += 1
         self.total_ops += kernel.total_ops
         self.fast_path_ops += kernel.fast_path_ops
         self.slow_path_ops += kernel.slow_path_ops
@@ -53,7 +77,10 @@ class KernelAggregate:
         self.sim_wall_s += kernel.sim_wall_s
         self.compile_s += kernel.compile_s
         self.compile_cache_hits += 1 if kernel.compile_cache_hit else 0
-        for name, seconds in kernel.subsystem_s.items():
+        subsystems = kernel.subsystem_s
+        if isinstance(subsystems, dict):
+            subsystems = subsystems.items()
+        for name, seconds in subsystems:
             self.subsystem_s[name] = self.subsystem_s.get(name, 0.0) + seconds
 
     @property
@@ -68,14 +95,16 @@ class KernelAggregate:
 
     def summary(self) -> str:
         """One human-readable line for the CLI's ``--profile`` output."""
-        if not self.runs:
-            return "[kernel] no in-process simulations ran"
+        counted = self.runs + self.cached_runs
+        if not counted:
+            return "[kernel] no simulations ran"
+        cached = f" (+{self.cached_runs} cached)" if self.cached_runs else ""
         line = (
-            f"[kernel] {self.runs} runs, {self.total_ops:,} ops at "
+            f"[kernel] {self.runs} runs{cached}, {self.total_ops:,} ops at "
             f"{self.ops_per_sec:,.0f} ops/s, "
             f"fast-path {100.0 * self.fast_path_ratio:.1f}%, "
             f"compile {self.compile_s:.2f}s "
-            f"({self.compile_cache_hits}/{self.runs} stream-cache hits)"
+            f"({self.compile_cache_hits}/{counted} stream-cache hits)"
         )
         if self.subsystem_s:
             parts = ", ".join(

@@ -4,8 +4,10 @@ Experimental pipelines take minutes at full scale; a release-grade
 harness lets users save a campaign's rows and reload them later for
 reporting or comparison without re-simulating.  The store serialises the
 flat row dataclasses (:class:`Scenario1Row`, :class:`Scenario2Row`,
-:class:`PerCoreDVFSResult`, :class:`DesignPoint`) with a type tag and a
-schema version, and refuses files it does not understand.
+:class:`PerCoreDVFSResult`, :class:`DesignPoint`) with a type tag, a
+schema version, and a provenance block (the commit SHA of the producing
+checkout — deterministic, so identical campaigns stay byte-identical),
+and refuses files it does not understand.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from repro.harness.scenario2 import OverclockRow, Scenario2Row
 # Bump (in repro.harness.schema) when the row schemas change
 # incompatibly; re-exported here for backward compatibility.
 from repro.harness.schema import SCHEMA_VERSION
+from repro.telemetry.manifest import git_sha
 
 _ROW_TYPES = {
     "scenario1": Scenario1Row,
@@ -94,6 +97,7 @@ def save_results(results: Dict[str, Sequence[Row]], path: PathLike) -> None:
     """
     document = {
         "schema": SCHEMA_VERSION,
+        "provenance": {"git_sha": git_sha()},
         "groups": {
             name: [_encode_row(row) for row in results[name]]
             for name in sorted(results)

@@ -24,6 +24,7 @@ from repro.power.calibration import PowerCalibration
 from repro.power.static import StaticPowerModel
 from repro.power.wattch import WattchModel
 from repro.sim.cmp import SimulationResult
+from repro.telemetry.trace import get_tracer
 from repro.thermal.floorplan import Floorplan
 from repro.thermal.hotspot import HotSpotModel, ThermalResult
 from repro.units import kelvin_to_celsius
@@ -100,31 +101,39 @@ class ChipPowerModel:
         temperatures_c: Dict[str, float] = {name: 60.0 for name in dynamic_map}
         thermal_result: Optional[ThermalResult] = None
         static_map: Dict[str, float] = {}
-        for _ in range(max_iterations):
-            static_map = {
-                name: self.static_model.static_power_w(
-                    dynamic_map[name], temperatures_c[name]
+        with get_tracer().span("power.solve", blocks=len(dynamic_map)) as span:
+            iterations = 0
+            for _ in range(max_iterations):
+                iterations += 1
+                static_map = {
+                    name: self.static_model.static_power_w(
+                        dynamic_map[name], temperatures_c[name]
+                    )
+                    for name in dynamic_map
+                }
+                total_map = {
+                    name: dynamic_map[name] + static_map[name]
+                    for name in dynamic_map
+                }
+                thermal_result = self.thermal.solve(total_map)
+                updated = {
+                    name: kelvin_to_celsius(
+                        thermal_result.block_temperatures_k[name]
+                    )
+                    for name in dynamic_map
+                }
+                shift = max(
+                    abs(updated[name] - temperatures_c[name])
+                    for name in dynamic_map
                 )
-                for name in dynamic_map
-            }
-            total_map = {
-                name: dynamic_map[name] + static_map[name] for name in dynamic_map
-            }
-            thermal_result = self.thermal.solve(total_map)
-            updated = {
-                name: kelvin_to_celsius(
-                    thermal_result.block_temperatures_k[name]
+                temperatures_c = updated
+                if shift < tol_c:
+                    break
+            else:
+                raise ConvergenceError(
+                    "chip power/temperature fixed point diverged"
                 )
-                for name in dynamic_map
-            }
-            shift = max(
-                abs(updated[name] - temperatures_c[name]) for name in dynamic_map
-            )
-            temperatures_c = updated
-            if shift < tol_c:
-                break
-        else:
-            raise ConvergenceError("chip power/temperature fixed point diverged")
+            span.set(iterations=iterations)
 
         power_map = {
             name: dynamic_map[name] + static_map[name] for name in dynamic_map

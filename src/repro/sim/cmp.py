@@ -33,6 +33,7 @@ from repro.sim.cpu import (
     LockTable,
 )
 from repro.sim.memory import MainMemory, MemoryConfig
+from repro.telemetry.trace import get_tracer
 
 #: Horizon passed to ``step_fast`` when no other core is pending in the
 #: heap: compares greater than every real ``(time_ps, core_id)`` key.
@@ -422,90 +423,127 @@ class ChipSession:
 
         window_start = max(core.time_ps for core in cores)
         use_fast = self.fast_path
+        tracer = get_tracer()
+        # An enabled tracer turns the per-subsystem slow-path timers on
+        # even without --profile: they are host-side only and feed the
+        # window's aggregate spans, never the simulated counters.
+        profile_timers = self.profile or tracer.enabled
         for core, ops in zip(cores, thread_ops):
             core.time_ps = window_start
             if use_fast:
                 core.bind_stream(ops if type(ops) is list else list(ops))
-                core.prepare_fast_path(profile=self.profile)
+                core.prepare_fast_path(profile=profile_timers)
             else:
                 core._ops = iter(ops)
         self._reset_counters()
         steppers = [
             core.step_fast if use_fast else core.step for core in cores
         ]
-        wall_start = time.perf_counter()
+        subsystem_totals: Dict[str, float] = {}
 
-        heap: List[tuple] = [(window_start, i) for i in range(n_threads)]
-        heapq.heapify(heap)
-        heappop = heapq.heappop
-        heappush = heapq.heappush
-        barrier_waiters: Dict[int, List[int]] = {}
-        barriers_seen = 0
-        barrier_ops = 0
-        reference_ops = 0
-        finished = 0
-        steps = 0
-        measurement_start_ps = window_start
-        warmup_remaining = warmup_barriers
+        with tracer.span(
+            "kernel.window",
+            mode="fast" if use_fast else "reference",
+            threads=n_threads,
+        ) as kernel_span:
+            wall_start = time.perf_counter()
 
-        while heap:
-            steps += 1
-            if steps > self.MAX_STEPS:
-                raise SimulationError("scheduler exceeded MAX_STEPS (deadlock?)")
-            _, core_id = heappop(heap)
-            core = cores[core_id]
-            if use_fast:
-                # Safe horizon for the batch: the next core's heap key.
-                # Parked (barrier) and finished cores cannot act before
-                # this core, so an empty heap means no horizon at all.
-                if heap:
-                    next_time, next_id = heap[0]
+            heap: List[tuple] = [(window_start, i) for i in range(n_threads)]
+            heapq.heapify(heap)
+            heappop = heapq.heappop
+            heappush = heapq.heappush
+            barrier_waiters: Dict[int, List[int]] = {}
+            barriers_seen = 0
+            barrier_ops = 0
+            reference_ops = 0
+            finished = 0
+            steps = 0
+            measurement_start_ps = window_start
+            warmup_remaining = warmup_barriers
+
+            while heap:
+                steps += 1
+                if steps > self.MAX_STEPS:
+                    raise SimulationError(
+                        "scheduler exceeded MAX_STEPS (deadlock?)"
+                    )
+                _, core_id = heappop(heap)
+                core = cores[core_id]
+                if use_fast:
+                    # Safe horizon for the batch: the next core's heap key.
+                    # Parked (barrier) and finished cores cannot act before
+                    # this core, so an empty heap means no horizon at all.
+                    if heap:
+                        next_time, next_id = heap[0]
+                    else:
+                        next_time, next_id = _NO_HORIZON
+                    status = steppers[core_id](next_time, next_id)
                 else:
-                    next_time, next_id = _NO_HORIZON
-                status = steppers[core_id](next_time, next_id)
-            else:
-                status = steppers[core_id]()
-            if status != DONE:
-                reference_ops += 1
-            if status == RUNNING:
-                heappush(heap, (core.time_ps, core_id))
-            elif status == DONE:
-                finished += 1
-            else:  # AT_BARRIER
-                barrier_ops += 1
-                barrier_id = core.pending_barrier
-                waiters = barrier_waiters.setdefault(barrier_id, [])
-                waiters.append(core_id)
-                if len(waiters) == n_threads:
-                    barriers_seen += 1
-                    release = max(cores[w].time_ps for w in waiters)
-                    release += clock.cycles_to_ps(config.barrier_release_cycles)
-                    for waiter_id in waiters:
-                        waiter = cores[waiter_id]
-                        wait_ps = release - waiter.time_ps
-                        wakeup_ps = core_clocks[waiter_id].cycles_to_ps(
-                            config.sleep_wakeup_cycles
+                    status = steppers[core_id]()
+                if status != DONE:
+                    reference_ops += 1
+                if status == RUNNING:
+                    heappush(heap, (core.time_ps, core_id))
+                elif status == DONE:
+                    finished += 1
+                else:  # AT_BARRIER
+                    barrier_ops += 1
+                    barrier_id = core.pending_barrier
+                    waiters = barrier_waiters.setdefault(barrier_id, [])
+                    waiters.append(core_id)
+                    if len(waiters) == n_threads:
+                        barriers_seen += 1
+                        release = max(cores[w].time_ps for w in waiters)
+                        release += clock.cycles_to_ps(
+                            config.barrier_release_cycles
                         )
-                        if config.barrier_sleep and wait_ps > 2 * wakeup_ps:
-                            # Thrifty barrier: sleep until the predictor
-                            # wakes the core just in time; spin the
-                            # final wake-up window.
-                            waiter.stats.sleep_ps += wait_ps - wakeup_ps
-                            waiter.stats.sync_wait_ps += wakeup_ps
-                        else:
-                            waiter.stats.sync_wait_ps += wait_ps
-                        waiter.time_ps = release
-                        heappush(heap, (release, waiter_id))
-                    del barrier_waiters[barrier_id]
-                    if warmup_remaining and barriers_seen == warmup_remaining:
-                        # End of initialization: reset every activity
-                        # counter; caches stay warm.
-                        measurement_start_ps = release
-                        barriers_seen = 0
-                        warmup_remaining = 0
-                        self._reset_counters()
+                        for waiter_id in waiters:
+                            waiter = cores[waiter_id]
+                            wait_ps = release - waiter.time_ps
+                            wakeup_ps = core_clocks[waiter_id].cycles_to_ps(
+                                config.sleep_wakeup_cycles
+                            )
+                            if config.barrier_sleep and wait_ps > 2 * wakeup_ps:
+                                # Thrifty barrier: sleep until the predictor
+                                # wakes the core just in time; spin the
+                                # final wake-up window.
+                                waiter.stats.sleep_ps += wait_ps - wakeup_ps
+                                waiter.stats.sync_wait_ps += wakeup_ps
+                            else:
+                                waiter.stats.sync_wait_ps += wait_ps
+                            waiter.time_ps = release
+                            heappush(heap, (release, waiter_id))
+                        del barrier_waiters[barrier_id]
+                        if warmup_remaining and barriers_seen == warmup_remaining:
+                            # End of initialization: reset every activity
+                            # counter; caches stay warm.
+                            measurement_start_ps = release
+                            barriers_seen = 0
+                            warmup_remaining = 0
+                            self._reset_counters()
 
-        sim_wall_s = time.perf_counter() - wall_start
+            sim_wall_s = time.perf_counter() - wall_start
+
+            if profile_timers and use_fast:
+                subsystem_counts: Dict[str, int] = {}
+                for core in cores:
+                    for name, seconds in core.subsystem_s.items():
+                        subsystem_totals[name] = (
+                            subsystem_totals.get(name, 0.0) + seconds
+                        )
+                    for name, count in core.subsystem_n.items():
+                        subsystem_counts[name] = (
+                            subsystem_counts.get(name, 0) + count
+                        )
+                # The slow path is far too hot for per-op spans; report
+                # each subsystem's accumulated wall time as one
+                # aggregate child span of the window.
+                for name in sorted(subsystem_totals):
+                    tracer.aggregate(
+                        f"kernel.slow_path.{name}",
+                        subsystem_totals[name],
+                        count=subsystem_counts.get(name, 1),
+                    )
 
         if finished != n_threads:
             stuck = sorted(
@@ -527,12 +565,7 @@ class ChipSession:
                 barrier_ops=barrier_ops,
                 sim_wall_s=sim_wall_s,
             )
-            if self.profile:
-                for core in cores:
-                    for name, seconds in core.subsystem_s.items():
-                        kernel.subsystem_s[name] = (
-                            kernel.subsystem_s.get(name, 0.0) + seconds
-                        )
+            kernel.subsystem_s.update(subsystem_totals)
         else:
             kernel = KernelStats(
                 mode="reference",
@@ -542,6 +575,12 @@ class ChipSession:
                 barrier_ops=barrier_ops,
                 sim_wall_s=sim_wall_s,
             )
+        kernel_span.set(
+            total_ops=kernel.total_ops,
+            fast_path_ops=kernel.fast_path_ops,
+            slow_path_ops=kernel.slow_path_ops,
+            barrier_ops=kernel.barrier_ops,
+        )
 
         execution_time = (
             max(core.stats.end_time_ps for core in cores) - measurement_start_ps

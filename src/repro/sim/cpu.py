@@ -161,11 +161,13 @@ class Core:
         #: controller (set by prepare_fast_path).
         self._fast_loads = False
         self._fast_stores = False
-        #: Fast/slow op tallies and optional per-subsystem wall time.
+        #: Fast/slow op tallies and optional per-subsystem wall time and
+        #: slow-op counts (populated when profiling or tracing).
         self.fast_ops = 0
         self.slow_ops = 0
         self._profile = False
         self.subsystem_s: Dict[str, float] = {}
+        self.subsystem_n: Dict[str, int] = {}
 
     def set_clock(self, clock: ClockDomain) -> None:
         """DVFS: subsequent cycle costs use the new period."""
@@ -202,6 +204,7 @@ class Core:
         self.fast_ops = 0
         self.slow_ops = 0
         self.subsystem_s = {}
+        self.subsystem_n = {}
         # Window-invariant state for step_fast, packed so each scheduler
         # pop pays one attribute access + tuple unpack instead of a
         # dozen chained lookups.  Only identity-stable objects belong
@@ -458,6 +461,7 @@ class Core:
             if profile:
                 elapsed = time.perf_counter() - started
                 self.subsystem_s[name] = self.subsystem_s.get(name, 0.0) + elapsed
+                self.subsystem_n[name] = self.subsystem_n.get(name, 0) + 1
             self.slow_ops += 1
             i += 1
             t = self.time_ps

@@ -46,6 +46,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional
 
+from repro.telemetry.trace import get_tracer
+
 OP_COMPUTE = 0
 OP_LOAD = 1
 OP_STORE = 2
@@ -200,16 +202,23 @@ def compile_workload(
         if program is not None:
             return CompileOutcome(program=program, from_cache=True, seconds=0.0)
 
-    start = time.perf_counter()
-    streams = [
-        compile_stream(model.thread_ops(t, n_threads)) for t in range(n_threads)
-    ]
-    program = CompiledProgram(
-        streams=streams,
-        total_ops=sum(stream_op_count(s) for s in streams),
-        compiled_ops=sum(len(s) for s in streams),
-    )
-    seconds = time.perf_counter() - start
+    with get_tracer().span(
+        "workload.compile",
+        workload=getattr(model, "name", type(model).__name__),
+        threads=n_threads,
+    ) as span:
+        start = time.perf_counter()
+        streams = [
+            compile_stream(model.thread_ops(t, n_threads))
+            for t in range(n_threads)
+        ]
+        program = CompiledProgram(
+            streams=streams,
+            total_ops=sum(stream_op_count(s) for s in streams),
+            compiled_ops=sum(len(s) for s in streams),
+        )
+        seconds = time.perf_counter() - start
+        span.set(ops=program.total_ops, compiled_ops=program.compiled_ops)
     if key is not None:
         cache.put(key, program)
     return CompileOutcome(program=program, from_cache=False, seconds=seconds)

@@ -1,0 +1,91 @@
+"""Unified telemetry: structured tracing, cross-process metrics, exports.
+
+The subsystem has four pieces, threaded through the simulator, the
+power/thermal models, the sweep executor, and the CLI:
+
+* :mod:`repro.telemetry.trace` — ``Span``/``Tracer`` with monotonic
+  timestamps, nested spans, and a zero-allocation no-op path when
+  disabled (the default);
+* :mod:`repro.telemetry.record` — picklable ``KernelRecord`` /
+  ``PointTelemetry`` records that carry worker-side kernel stats and
+  span trees back through the executor's outcome channel (and into the
+  result cache), so ``--profile`` accounts for parallel and warm-cache
+  sweeps;
+* :mod:`repro.telemetry.manifest` — per-sweep run manifests plus JSONL
+  event/span logs under ``--telemetry-dir``, with schema validation;
+* :mod:`repro.telemetry.chrometrace` — Chrome ``trace_event`` JSON
+  export (``repro trace export``) and plain-text phase metrics
+  (``repro trace metrics``).
+
+See docs/OBSERVABILITY.md for the artifact schema and span names.
+"""
+
+from repro.telemetry.chrometrace import (
+    chrome_trace_document,
+    export_chrome_trace,
+    metrics_table,
+)
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA,
+    TelemetryRun,
+    git_sha,
+    latest_run_dir,
+    list_run_dirs,
+    load_events,
+    load_manifest,
+    load_spans,
+    resolve_run_dir,
+    validate_run_dir,
+)
+from repro.telemetry.record import (
+    KernelRecord,
+    PointTelemetry,
+    begin_point_capture,
+    capturing,
+    end_point_capture,
+    record_kernel,
+)
+from repro.telemetry.trace import (
+    NULL_SPAN,
+    Span,
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    now_us,
+    set_tracer,
+    span,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "NULL_SPAN",
+    "KernelRecord",
+    "PointTelemetry",
+    "Span",
+    "SpanRecord",
+    "TelemetryRun",
+    "Tracer",
+    "begin_point_capture",
+    "capturing",
+    "chrome_trace_document",
+    "disable_tracing",
+    "enable_tracing",
+    "end_point_capture",
+    "export_chrome_trace",
+    "get_tracer",
+    "git_sha",
+    "latest_run_dir",
+    "list_run_dirs",
+    "load_events",
+    "load_manifest",
+    "load_spans",
+    "metrics_table",
+    "now_us",
+    "record_kernel",
+    "resolve_run_dir",
+    "set_tracer",
+    "span",
+    "validate_run_dir",
+]

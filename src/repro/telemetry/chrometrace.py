@@ -1,0 +1,210 @@
+"""Exporters: Chrome ``trace_event`` JSON and plain-text metrics tables.
+
+The Chrome trace format (the JSON Array/Object format consumed by
+``chrome://tracing`` and https://ui.perfetto.dev) renders one row per
+``(pid, tid)`` with nested "X" (complete) events.  We emit
+
+* one "X" event per recorded span (nesting reconstructed from the span
+  tree's timestamps),
+* one "X" event per sweep point (from ``events.jsonl``), on a dedicated
+  ``points`` track per evaluating process, so the executor's fan-out and
+  cache behaviour is visible at a glance,
+* "M" (metadata) events naming each process row.
+
+Timestamps are absolute wall-clock microseconds shared across worker
+processes (see :mod:`repro.telemetry.trace`); the exporter rebases them
+to the run's earliest event so traces start near zero.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.telemetry.manifest import (
+    load_events,
+    load_manifest,
+    load_spans,
+)
+
+PathLike = Union[str, Path]
+
+#: Virtual thread ids: spans on row 0, sweep points on row 1.
+_SPAN_TID = 0
+_POINT_TID = 1
+
+
+def _span_events(
+    node: Dict[str, Any], pid: int, out: List[Dict[str, Any]]
+) -> None:
+    event: Dict[str, Any] = {
+        "name": node["name"],
+        "cat": "span",
+        "ph": "X",
+        "pid": pid,
+        "tid": _SPAN_TID,
+        "ts": node["start_us"],
+        "dur": node["duration_us"],
+    }
+    args = node.get("args")
+    if args:
+        event["args"] = args
+    out.append(event)
+    for child in node.get("children", ()):
+        _span_events(child, pid, out)
+
+
+def chrome_trace_document(run_dir: PathLike) -> Dict[str, Any]:
+    """Build the Chrome trace JSON document for one telemetry run."""
+    run_dir = Path(run_dir)
+    manifest = load_manifest(run_dir)
+    events: List[Dict[str, Any]] = []
+
+    for entry in load_spans(run_dir):
+        _span_events(entry["span"], int(entry.get("pid", 0)), events)
+
+    for event in load_events(run_dir):
+        if event.get("event") != "point" or not event.get("wall_s"):
+            continue
+        name = f"point[{event.get('index')}]"
+        events.append(
+            {
+                "name": name,
+                "cat": "point",
+                "ph": "X",
+                "pid": int(event.get("pid", 0)),
+                "tid": _POINT_TID,
+                "ts": float(event.get("start_us", 0.0)),
+                "dur": float(event["wall_s"]) * 1e6,
+                "args": {
+                    "status": event.get("status"),
+                    "cached": event.get("cached"),
+                    "ops": event.get("ops"),
+                    "key": event.get("key"),
+                },
+            }
+        )
+
+    # Rebase to the earliest timestamp so the trace starts near zero.
+    if events:
+        origin = min((e["ts"] for e in events if e["ts"] > 0), default=0.0)
+        for event in events:
+            event["ts"] = round(max(0.0, event["ts"] - origin), 3)
+            event["dur"] = round(event["dur"], 3)
+
+    pids = sorted({e["pid"] for e in events})
+    metadata: List[Dict[str, Any]] = []
+    for pid in pids:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": _SPAN_TID,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": _SPAN_TID,
+                "args": {"name": "spans"},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": _POINT_TID,
+                "args": {"name": "points"},
+            }
+        )
+
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "run_id": manifest.get("run_id"),
+            "command": manifest.get("command"),
+            "git_sha": manifest.get("git_sha"),
+            "schema": manifest.get("schema"),
+        },
+    }
+
+
+def export_chrome_trace(run_dir: PathLike, output: PathLike) -> Dict[str, Any]:
+    """Write one run's Chrome trace JSON to ``output``; returns the document."""
+    document = chrome_trace_document(run_dir)
+    Path(output).write_text(
+        json.dumps(document, sort_keys=True), encoding="utf-8"
+    )
+    return document
+
+
+# ---------------------------------------------------------------------------
+# Plain-text metrics.
+# ---------------------------------------------------------------------------
+
+
+def _collect_phase_rows(run_dir: PathLike) -> List[List[Any]]:
+    totals: Dict[str, Tuple[int, float]] = defaultdict(lambda: (0, 0.0))
+
+    def walk(node: Dict[str, Any]) -> None:
+        count = int(node.get("args", {}).get("count", 1))
+        count_so_far, us_so_far = totals[node["name"]]
+        totals[node["name"]] = (
+            count_so_far + count,
+            us_so_far + float(node["duration_us"]),
+        )
+        for child in node.get("children", ()):
+            walk(child)
+
+    for entry in load_spans(run_dir):
+        walk(entry["span"])
+    rows = []
+    for name in sorted(totals):
+        count, total_us = totals[name]
+        rows.append(
+            [
+                name,
+                count,
+                round(total_us / 1e6, 4),
+                round(total_us / count / 1000.0, 4) if count else 0.0,
+            ]
+        )
+    return rows
+
+
+def metrics_table(run_dir: PathLike) -> str:
+    """One plain-text table per phase: span counts and wall time.
+
+    Aggregates every recorded span by name (aggregated spans contribute
+    their event counts), plus a summary header from the manifest.
+    """
+    from repro.harness.tables import render_table
+
+    run_dir = Path(run_dir)
+    manifest = load_manifest(run_dir)
+    points = manifest.get("points", {})
+    kernel = manifest.get("kernel", {})
+    header = (
+        f"run {manifest.get('run_id')} ({manifest.get('command')}): "
+        f"{points.get('total', 0)} points "
+        f"({points.get('evaluated', 0)} evaluated, "
+        f"{points.get('cached', 0)} cached, {points.get('failed', 0)} failed), "
+        f"{kernel.get('total_ops', 0):,} simulated ops"
+    )
+    rows = _collect_phase_rows(run_dir)
+    if not rows:
+        return header + "\n(no spans recorded — was tracing enabled?)"
+    table = render_table(
+        ["phase", "count", "total (s)", "mean (ms)"],
+        rows,
+        title="telemetry phases",
+    )
+    return header + "\n" + table

@@ -1,0 +1,135 @@
+"""Cross-process telemetry records and the per-point capture buffer.
+
+The sweep executor fans points out to worker processes; each worker's
+:class:`~repro.sim.cmp.KernelStats` and span trees would otherwise die
+with the task.  These records are the picklable, cache-encodable form in
+which that telemetry travels back through the executor's outcome channel
+and is persisted by the :class:`~repro.harness.executor.ResultCache`
+alongside the point's value — which is what lets ``--profile`` account
+for parallel *and* warm-cache sweeps.
+
+The capture buffer is per-process module state: the executor's point
+wrapper brackets each evaluation with :func:`begin_point_capture` /
+:func:`end_point_capture`, and
+:meth:`ExperimentContext.run <repro.harness.context.ExperimentContext.run>`
+deposits one :class:`KernelRecord` per simulation via
+:func:`record_kernel`.  Outside a capture window ``record_kernel`` is a
+no-op, so long-lived processes that never drain (test suites, notebooks)
+do not accumulate records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.telemetry.trace import SpanRecord
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One simulation run's kernel profile, flattened for transport.
+
+    A picklable mirror of :class:`~repro.sim.cmp.KernelStats` (the
+    ``subsystem_s`` dict becomes a sorted tuple of pairs so the record
+    is hashable and cache-encodable).
+    """
+
+    mode: str
+    total_ops: int
+    fast_path_ops: int
+    slow_path_ops: int
+    barrier_ops: int
+    sim_wall_s: float
+    compile_s: float
+    compile_cache_hit: bool
+    subsystem_s: Tuple[Tuple[str, float], ...] = ()
+
+    @classmethod
+    def from_stats(cls, stats: Any) -> "KernelRecord":
+        """Build a record from any ``KernelStats``-shaped object."""
+        return cls(
+            mode=stats.mode,
+            total_ops=stats.total_ops,
+            fast_path_ops=stats.fast_path_ops,
+            slow_path_ops=stats.slow_path_ops,
+            barrier_ops=stats.barrier_ops,
+            sim_wall_s=stats.sim_wall_s,
+            compile_s=stats.compile_s,
+            compile_cache_hit=stats.compile_cache_hit,
+            subsystem_s=tuple(sorted(stats.subsystem_s.items())),
+        )
+
+
+@dataclass(frozen=True)
+class PointTelemetry:
+    """Everything one sweep point's evaluation reported about itself.
+
+    Travels in the :class:`~repro.harness.executor.PointOutcome` and in
+    the result cache's per-point document, so a warm-cache rerun can
+    still account for the op counts of the original evaluation.
+    """
+
+    #: Process that evaluated the point (the coordinator's own pid for
+    #: inline evaluation; a worker pid under ``--jobs N``).
+    pid: int
+    #: Wall-clock start of the evaluation (absolute microseconds on the
+    #: span timebase; see :func:`repro.telemetry.trace.now_us`).
+    start_us: float
+    #: Wall-clock seconds the evaluation took end to end.
+    wall_s: float
+    #: One record per simulation the point ran (profiling points run
+    #: one; analytical points run none).
+    kernels: Tuple[KernelRecord, ...] = ()
+    #: Span trees completed during the evaluation (empty when tracing
+    #: was disabled in the evaluating process).
+    spans: Tuple[SpanRecord, ...] = ()
+
+    @property
+    def total_ops(self) -> int:
+        """Simulated source ops across the point's runs."""
+        return sum(k.total_ops for k in self.kernels)
+
+    @property
+    def fast_path_ops(self) -> int:
+        """Fast-path-resolved ops across the point's runs."""
+        return sum(k.fast_path_ops for k in self.kernels)
+
+
+# ---------------------------------------------------------------------------
+# Per-process capture buffer.
+# ---------------------------------------------------------------------------
+
+_capturing = False
+_kernels: List[KernelRecord] = []
+
+
+def capturing() -> bool:
+    """Whether a point-capture window is open in this process."""
+    return _capturing
+
+
+def record_kernel(stats: Any) -> None:
+    """Deposit one run's kernel stats into the open capture window.
+
+    No-op when no window is open, so unharnessed ``context.run`` calls
+    cost one boolean check and leak nothing.
+    """
+    if _capturing:
+        _kernels.append(KernelRecord.from_stats(stats))
+
+
+def begin_point_capture() -> None:
+    """Open a capture window (discarding any stale, undrained one)."""
+    global _capturing
+    _capturing = True
+    _kernels.clear()
+
+
+def end_point_capture() -> Tuple[KernelRecord, ...]:
+    """Close the capture window and return the runs it collected."""
+    global _capturing
+    _capturing = False
+    records = tuple(_kernels)
+    _kernels.clear()
+    return records

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.errors import ConfigurationError, ConvergenceError
+from repro.telemetry.trace import get_tracer
 from repro.thermal.floorplan import Floorplan
 from repro.thermal.rcnetwork import ThermalMaterial, ThermalRCNetwork
 from repro.units import celsius_to_kelvin
@@ -102,8 +103,9 @@ class HotSpotModel:
         Blocks absent from the map dissipate zero power.  Temperatures are
         floored at ambient by construction of the RC network.
         """
-        temperatures = self.network.steady_state(power_map, self.ambient_k)
-        return self._aggregate(temperatures)
+        with get_tracer().span("thermal.solve", blocks=len(power_map)):
+            temperatures = self.network.steady_state(power_map, self.ambient_k)
+            return self._aggregate(temperatures)
 
     def calibrate(
         self,

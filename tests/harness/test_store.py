@@ -91,6 +91,16 @@ class TestRoundTrip:
         assert document["schema"] == SCHEMA_VERSION
         assert set(document["groups"]) == {"fig3", "fig4", "percore", "design"}
 
+    def test_saved_campaigns_record_their_provenance(self, tmp_path):
+        from repro.telemetry.manifest import git_sha
+
+        path = tmp_path / "c.json"
+        save_results(sample_rows(), path)
+        document = json.loads(path.read_text())
+        assert document["provenance"] == {"git_sha": git_sha()}
+        # Provenance is metadata only; loading still round-trips the rows.
+        assert load_results(path) == sample_rows()
+
     def test_sweep_and_profiling_row_types_round_trip(self, tmp_path):
         campaign = {
             "fig1": [

@@ -1,0 +1,140 @@
+"""Tests for the Chrome trace exporter and the plain-text metrics table."""
+
+import json
+
+from repro.harness.executor import PointOutcome
+from repro.telemetry.chrometrace import (
+    chrome_trace_document,
+    export_chrome_trace,
+    metrics_table,
+)
+from repro.telemetry.manifest import TelemetryRun
+from repro.telemetry.record import KernelRecord, PointTelemetry
+from repro.telemetry.trace import SpanRecord
+
+
+def traced_run(tmp_path):
+    """A finalized run with spans from two pids and one point event."""
+    run = TelemetryRun(tmp_path, command="fig3")
+    run.record_spans(
+        [
+            SpanRecord(
+                name="kernel.window",
+                start_us=1_000.0,
+                duration_us=500.0,
+                args=(("mode", "fast"),),
+                children=(
+                    SpanRecord(
+                        name="kernel.slow_path.memory",
+                        start_us=1_100.0,
+                        duration_us=200.0,
+                        args=(("aggregated", True), ("count", 40)),
+                    ),
+                ),
+            )
+        ],
+        pid=111,
+    )
+    run.record_spans(
+        [SpanRecord(name="power.solve", start_us=1_600.0, duration_us=100.0)],
+        pid=222,
+    )
+    telemetry = PointTelemetry(
+        pid=111,
+        start_us=990.0,
+        wall_s=0.0008,
+        kernels=(
+            KernelRecord(
+                mode="fast",
+                total_ops=120,
+                fast_path_ops=100,
+                slow_path_ops=15,
+                barrier_ops=5,
+                sim_wall_s=0.0005,
+                compile_s=0.0,
+                compile_cache_hit=False,
+            ),
+        ),
+    )
+    run.record_point(
+        PointOutcome(index=0, key="k0", value=1, telemetry=telemetry)
+    )
+    run.finalize()
+    return run
+
+
+class TestChromeTraceDocument:
+    def test_schema_of_every_event(self, tmp_path):
+        run = traced_run(tmp_path)
+        document = chrome_trace_document(run.directory)
+        events = document["traceEvents"]
+        assert events, "expected trace events"
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            assert event["ph"] in ("X", "M")
+            if event["ph"] == "X":
+                assert isinstance(event["ts"], (int, float))
+                assert isinstance(event["dur"], (int, float))
+                assert event["ts"] >= 0 and event["dur"] >= 0
+        assert document["displayTimeUnit"] == "ms"
+        assert document["otherData"]["run_id"] == run.run_id
+        assert document["otherData"]["command"] == "fig3"
+
+    def test_spans_points_and_metadata_rows(self, tmp_path):
+        run = traced_run(tmp_path)
+        events = chrome_trace_document(run.directory)["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X" and e["cat"] == "span"]
+        points = [e for e in events if e["ph"] == "X" and e["cat"] == "point"]
+        names = {e["name"] for e in spans}
+        assert names == {
+            "kernel.window",
+            "kernel.slow_path.memory",
+            "power.solve",
+        }
+        assert {e["pid"] for e in spans} == {111, 222}
+        (point,) = points
+        assert point["name"] == "point[0]"
+        assert point["tid"] != spans[0]["tid"]  # separate track
+        assert point["args"]["ops"] == 120
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["pid"] for e in metadata} == {111, 222}
+        assert {e["name"] for e in metadata} == {"process_name", "thread_name"}
+
+    def test_timestamps_are_rebased_to_near_zero(self, tmp_path):
+        run = traced_run(tmp_path)
+        events = chrome_trace_document(run.directory)["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert min(e["ts"] for e in xs) == 0.0
+        nested = next(e for e in xs if e["name"] == "kernel.slow_path.memory")
+        window = next(e for e in xs if e["name"] == "kernel.window")
+        assert window["ts"] <= nested["ts"]
+        assert nested["ts"] + nested["dur"] <= window["ts"] + window["dur"]
+
+    def test_export_writes_parseable_json(self, tmp_path):
+        run = traced_run(tmp_path)
+        output = tmp_path / "trace.json"
+        document = export_chrome_trace(run.directory, output)
+        parsed = json.loads(output.read_text())
+        assert parsed == json.loads(json.dumps(document))
+        assert parsed["traceEvents"]
+
+
+class TestMetricsTable:
+    def test_table_aggregates_phases_with_counts(self, tmp_path):
+        run = traced_run(tmp_path)
+        text = metrics_table(run.directory)
+        assert "1 points" in text and "120 simulated ops" in text
+        lines = {
+            line.split()[0]: line.split()
+            for line in text.splitlines()
+            if line.strip().startswith(("kernel.", "power."))
+        }
+        # Aggregated spans contribute their event count, not 1.
+        assert lines["kernel.slow_path.memory"][1] == "40"
+        assert lines["kernel.window"][1] == "1"
+        assert lines["power.solve"][1] == "1"
+
+    def test_table_mentions_missing_spans(self, tmp_path):
+        run = TelemetryRun(tmp_path)
+        run.finalize()
+        assert "no spans recorded" in metrics_table(run.directory)

@@ -1,0 +1,242 @@
+"""Tests for run manifests, JSONL logs, and their validation."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.executor import PointOutcome, SweepFailure
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA,
+    TelemetryRun,
+    git_sha,
+    latest_run_dir,
+    list_run_dirs,
+    load_events,
+    load_manifest,
+    load_spans,
+    resolve_run_dir,
+    validate_run_dir,
+)
+from repro.telemetry.record import KernelRecord, PointTelemetry
+from repro.telemetry.trace import SpanRecord
+
+
+def kernel_record(total_ops=100):
+    return KernelRecord(
+        mode="fast",
+        total_ops=total_ops,
+        fast_path_ops=80,
+        slow_path_ops=15,
+        barrier_ops=5,
+        sim_wall_s=0.25,
+        compile_s=0.01,
+        compile_cache_hit=True,
+        subsystem_s=(("memory", 0.1),),
+    )
+
+
+def outcome(index=0, cached=False, failed=False, kernels=1, spans=()):
+    telemetry = PointTelemetry(
+        pid=4242,
+        start_us=1e12,
+        wall_s=0.5,
+        kernels=tuple(kernel_record() for _ in range(kernels)),
+        spans=tuple(spans),
+    )
+    failure = SweepFailure(error_type="SimulationError", message="x") if failed else None
+    return PointOutcome(
+        index=index,
+        key=f"k{index}",
+        value=None if failed else index,
+        failure=failure,
+        cached=cached,
+        telemetry=telemetry,
+    )
+
+
+class TestTelemetryRun:
+    def test_creation_writes_a_running_manifest(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig3", argv=["--scale", "0.1"])
+        manifest = load_manifest(run.directory)
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["status"] == "running"
+        assert manifest["command"] == "fig3"
+        assert manifest["argv"] == ["--scale", "0.1"]
+        run.finalize()
+
+    def test_round_trip_points_events_and_counters(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig3")
+        run.set_context_fingerprint("abc123")
+        run.record_point(outcome(0))
+        run.record_point(outcome(1, cached=True))
+        run.record_point(outcome(2, failed=True))
+        run.finalize()
+
+        manifest = load_manifest(run.directory)
+        assert manifest["status"] == "complete"
+        assert manifest["context_fingerprint"] == "abc123"
+        assert manifest["points"] == {
+            "total": 3,
+            "ok": 2,
+            "failed": 1,
+            "cached": 1,
+            "evaluated": 2,
+        }
+        assert manifest["kernel"]["runs"] == 2
+        assert manifest["kernel"]["cached_runs"] == 1
+        assert manifest["kernel"]["total_ops"] == 300
+
+        events = load_events(run.directory)
+        assert [e["index"] for e in events] == [0, 1, 2]
+        assert [e["status"] for e in events] == ["ok", "ok", "error"]
+        assert [e["cached"] for e in events] == [False, True, False]
+        assert events[2]["error_type"] == "SimulationError"
+        assert all(e["pid"] == 4242 and e["ops"] == 100 for e in events)
+
+    def test_finalize_records_executor_and_cache_stats(self, tmp_path):
+        class FakeCacheStats:
+            hits, misses, stores, quarantined = 3, 2, 2, 0
+
+        class FakeCache:
+            stats = FakeCacheStats()
+
+        class FakeStats:
+            evaluated, cache_hits, failures, uncacheable = 2, 3, 0, 1
+
+        class FakeExecutor:
+            stats = FakeStats()
+            cache = FakeCache()
+
+        run = TelemetryRun(tmp_path)
+        run.finalize(executor=FakeExecutor())
+        manifest = load_manifest(run.directory)
+        assert manifest["executor"] == {
+            "evaluated": 2,
+            "cache_hits": 3,
+            "failures": 0,
+            "uncacheable": 1,
+        }
+        assert manifest["cache"] == {
+            "hits": 3,
+            "misses": 2,
+            "stores": 2,
+            "quarantined": 0,
+        }
+
+    def test_finalize_is_idempotent(self, tmp_path):
+        run = TelemetryRun(tmp_path)
+        first = run.finalize()
+        assert run.finalize() == first
+
+    def test_point_spans_land_in_spans_jsonl(self, tmp_path):
+        record = SpanRecord(name="kernel.window", start_us=10.0, duration_us=5.0)
+        run = TelemetryRun(tmp_path)
+        run.record_point(outcome(0, spans=(record,)))
+        run.finalize()
+        (entry,) = load_spans(run.directory)
+        assert entry["pid"] == 4242
+        assert entry["span"]["name"] == "kernel.window"
+
+
+class TestRunDirectoryLookup:
+    def test_list_latest_and_resolve(self, tmp_path):
+        a = TelemetryRun(tmp_path, run_id="20260101T000000Z-1")
+        a.finalize()
+        b = TelemetryRun(tmp_path, run_id="20260102T000000Z-1")
+        b.finalize()
+        assert [p.name for p in list_run_dirs(tmp_path)] == [
+            "20260101T000000Z-1",
+            "20260102T000000Z-1",
+        ]
+        assert latest_run_dir(tmp_path).name == "20260102T000000Z-1"
+        assert resolve_run_dir(tmp_path).name == "20260102T000000Z-1"
+        assert (
+            resolve_run_dir(tmp_path, "20260101T000000Z-1").name
+            == "20260101T000000Z-1"
+        )
+
+    def test_missing_directory_and_run_raise(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            list_run_dirs(tmp_path / "nope")
+        with pytest.raises(ConfigurationError):
+            latest_run_dir(tmp_path)  # exists but empty
+        run = TelemetryRun(tmp_path)
+        run.finalize()
+        with pytest.raises(ConfigurationError):
+            resolve_run_dir(tmp_path, "not-a-run")
+
+
+class TestValidation:
+    def make_run(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig3")
+        run.record_point(outcome(0))
+        run.record_point(outcome(1, cached=True))
+        run.record_spans(
+            [
+                SpanRecord(
+                    name="power.solve",
+                    start_us=1.0,
+                    duration_us=9.0,
+                    children=(
+                        SpanRecord(
+                            name="thermal.solve", start_us=2.0, duration_us=3.0
+                        ),
+                    ),
+                )
+            ]
+        )
+        run.finalize()
+        return run
+
+    def test_validate_accepts_a_complete_run(self, tmp_path):
+        run = self.make_run(tmp_path)
+        summary = validate_run_dir(run.directory)
+        assert summary["points"] == 2
+        assert summary["spans"] == 2  # the hand-written tree, both nodes
+        assert summary["manifest"]["status"] == "complete"
+
+    def test_validate_rejects_missing_manifest_key(self, tmp_path):
+        run = self.make_run(tmp_path)
+        path = run.directory / "manifest.json"
+        manifest = json.loads(path.read_text())
+        del manifest["points"]
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ConfigurationError, match="points"):
+            validate_run_dir(run.directory)
+
+    def test_validate_rejects_event_count_mismatch(self, tmp_path):
+        run = self.make_run(tmp_path)
+        events = run.directory / "events.jsonl"
+        lines = events.read_text().splitlines()
+        events.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ConfigurationError, match="events.jsonl logs 1"):
+            validate_run_dir(run.directory)
+
+    def test_validate_rejects_corrupt_jsonl_line(self, tmp_path):
+        run = self.make_run(tmp_path)
+        with (run.directory / "events.jsonl").open("a") as handle:
+            handle.write("{not json\n")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            validate_run_dir(run.directory)
+
+    def test_validate_rejects_bad_span_tree(self, tmp_path):
+        run = self.make_run(tmp_path)
+        with (run.directory / "spans.jsonl").open("a") as handle:
+            handle.write(
+                json.dumps(
+                    {"event": "span", "pid": 1, "span": {"name": "x"}}
+                )
+                + "\n"
+            )
+        with pytest.raises(ConfigurationError, match="start_us"):
+            validate_run_dir(run.directory)
+
+
+class TestGitSha:
+    def test_reads_the_repo_head(self):
+        sha = git_sha()
+        assert sha is not None and len(sha) == 40
+
+    def test_returns_none_outside_a_checkout(self, tmp_path):
+        assert git_sha(tmp_path) is None

@@ -1,0 +1,173 @@
+"""Tests for the span/tracer core: nesting, timing, no-op, bounds."""
+
+import time
+
+import pytest
+
+from repro.telemetry.trace import (
+    NULL_SPAN,
+    SpanRecord,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    now_us,
+    set_tracer,
+    span,
+)
+
+
+@pytest.fixture
+def tracer():
+    """A fresh enabled tracer installed process-wide, restored after."""
+    fresh = Tracer(enabled=True)
+    previous = set_tracer(fresh)
+    yield fresh
+    set_tracer(previous)
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_hands_out_the_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        first = tracer.span("a", x=1)
+        second = tracer.span("b")
+        assert first is NULL_SPAN and second is NULL_SPAN
+        assert tracer.recorded == 0
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as opened:
+            opened.set(anything=1)
+        assert opened is NULL_SPAN
+
+    def test_module_tracer_is_disabled_by_default(self):
+        assert span("anything") is NULL_SPAN
+
+    def test_aggregate_on_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.aggregate("hot", 0.5, count=100)
+        assert tracer.roots == [] and tracer.recorded == 0
+
+
+class TestNesting:
+    def test_spans_nest_into_a_tree(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        roots = tracer.take_roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner.a", "inner.b"]
+        assert outer.children == roots[0].children
+
+    def test_sibling_roots_accumulate_in_order(self, tracer):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.take_roots()] == ["first", "second"]
+        assert tracer.take_roots() == []  # drained
+
+    def test_span_survives_exceptions_and_still_closes(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        (root,) = tracer.take_roots()
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.end_ns >= root.start_ns
+
+
+class TestTiming:
+    def test_durations_are_monotone_and_contain_children(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.002)
+        (outer,) = tracer.take_roots()
+        (inner,) = outer.children
+        assert inner.duration_s >= 0.002
+        assert outer.duration_s >= inner.duration_s
+        assert outer.start_ns <= inner.start_ns
+        assert inner.end_ns <= outer.end_ns
+
+    def test_now_us_tracks_the_wall_clock(self):
+        assert abs(now_us() / 1e6 - time.time()) < 5.0
+
+    def test_records_share_the_absolute_timebase(self, tracer):
+        before = now_us()
+        with tracer.span("timed"):
+            pass
+        after = now_us()
+        (record,) = tracer.drain_records()
+        assert before <= record.start_us <= after
+
+
+class TestRecords:
+    def test_record_flattens_args_and_children(self, tracer):
+        with tracer.span("outer", mode="fast") as outer:
+            outer.set(ops=42, obj=[1, 2])
+            with tracer.span("inner"):
+                pass
+        (record,) = tracer.drain_records()
+        args = dict(record.args)
+        assert args["mode"] == "fast" and args["ops"] == 42
+        assert args["obj"] == "[1, 2]"  # non-scalars are stringified
+        assert record.children[0].name == "inner"
+
+    def test_record_round_trips_through_dict(self, tracer):
+        with tracer.span("outer", mode="fast"):
+            with tracer.span("inner", n=3):
+                pass
+        (record,) = tracer.drain_records()
+        assert SpanRecord.from_dict(record.to_dict()) == record
+
+    def test_aggregate_spans_close_inside_the_open_parent(self, tracer):
+        with tracer.span("window"):
+            tracer.aggregate("slow_path.memory", 0.25, count=1000, sub="mem")
+        (root,) = tracer.drain_records()
+        (child,) = root.children
+        args = dict(child.args)
+        assert child.name == "slow_path.memory"
+        assert args["aggregated"] is True
+        assert args["count"] == 1000 and args["sub"] == "mem"
+        assert child.duration_us == pytest.approx(0.25e6, rel=0.01)
+
+
+class TestBounds:
+    def test_max_spans_caps_recording_and_counts_drops(self):
+        tracer = Tracer(enabled=True, max_spans=2)
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        third = tracer.span("three")
+        assert third is NULL_SPAN
+        tracer.aggregate("four", 0.1)
+        assert tracer.recorded == 2
+        assert tracer.dropped == 2
+        assert len(tracer.take_roots()) == 2
+
+    def test_reset_clears_spans_and_counters(self):
+        tracer = Tracer(enabled=True, max_spans=1)
+        with tracer.span("one"):
+            pass
+        tracer.span("refused")
+        tracer.reset()
+        assert (tracer.recorded, tracer.dropped, tracer.roots) == (0, 0, [])
+        with tracer.span("again"):
+            pass
+        assert len(tracer.take_roots()) == 1
+
+
+class TestProcessWideSwitches:
+    def test_enable_and_disable_swap_the_module_tracer(self):
+        previous = get_tracer()
+        try:
+            enabled = enable_tracing(max_spans=7)
+            assert get_tracer() is enabled
+            assert enabled.enabled and enabled.max_spans == 7
+            disable_tracing()
+            assert not get_tracer().enabled
+        finally:
+            set_tracer(previous)

@@ -37,12 +37,32 @@ class TestParser:
             with pytest.raises(SystemExit):
                 build_parser().parse_args(["fig2", "--jobs", bad])
 
-    def test_profile_flag_on_experimental_sweeps(self):
-        for command in ("fig3", "fig4", "characterize"):
+    def test_profile_flag_on_every_sweep(self):
+        for command in ("fig1", "fig2", "fig3", "fig4", "characterize"):
             assert build_parser().parse_args([command, "--profile"]).profile
             assert not build_parser().parse_args([command]).profile
+
+    def test_telemetry_dir_flag_on_every_sweep(self):
+        for command in ("fig1", "fig2", "fig3", "fig4", "characterize"):
+            args = build_parser().parse_args([command, "--telemetry-dir", "t"])
+            assert args.telemetry_dir == "t"
+            assert build_parser().parse_args([command]).telemetry_dir is None
+
+    def test_trace_subcommands(self):
+        args = build_parser().parse_args(
+            ["trace", "export", "--telemetry-dir", "t", "--output", "o.json"]
+        )
+        assert (args.trace_command, args.output, args.run) == (
+            "export",
+            "o.json",
+            None,
+        )
+        args = build_parser().parse_args(
+            ["trace", "validate", "--telemetry-dir", "t", "--run", "r1"]
+        )
+        assert (args.trace_command, args.run) == ("validate", "r1")
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["fig1", "--profile"])
+            build_parser().parse_args(["trace", "export"])  # DIR required
 
 
 class TestCommands:
