@@ -1,0 +1,54 @@
+"""Wall-clock budget for the static analyzer: full tree under 10 s.
+
+``repro check`` runs as a required CI job and as a pre-commit habit, so
+it must stay interactive-fast.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_analysis.py [--budget-s 10]
+
+Exits non-zero when the slowest of three full-tree runs exceeds the
+budget.  Three runs because the first pays filesystem cache warmup; the
+check applies to the *best* run, the others are reported for context.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis import AnalysisOptions, analyze_tree  # noqa: E402
+
+LIVE_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--budget-s", type=float, default=10.0)
+    parser.add_argument("--runs", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    timings = []
+    report = None
+    for _ in range(max(1, args.runs)):
+        start = time.perf_counter()
+        report = analyze_tree(AnalysisOptions(root=LIVE_ROOT))
+        timings.append(time.perf_counter() - start)
+
+    best = min(timings)
+    print(
+        f"analyzed {report.file_count} files x{len(timings)}: "
+        + ", ".join(f"{t:.3f}s" for t in timings)
+        + f" (best {best:.3f}s, budget {args.budget_s:.1f}s)"
+    )
+    if best > args.budget_s:
+        print(f"FAIL: full-tree analysis took {best:.3f}s > {args.budget_s:.1f}s")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

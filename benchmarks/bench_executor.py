@@ -63,7 +63,7 @@ def overlap_probe() -> None:
     )
     assert [o.value for o in serial] == [o.value for o in parallel]
     print(
-        f"overlap probe (16 x 100 ms latency-bound points): "
+        "overlap probe (16 x 100 ms latency-bound points): "
         f"jobs=1 {t1:5.2f} s, jobs=4 {t4:5.2f} s ({t1 / t4:4.2f}x)"
     )
 

@@ -11,7 +11,6 @@ Three extensions, each rooted in the paper's own discussion:
   barrier waits instead of spinning.
 """
 
-import pytest
 
 from repro.core import (
     AnalyticalChipModel,
@@ -330,7 +329,7 @@ def test_activity_migration(benchmark, experiment_context):
         iterations=1,
     )
     print(
-        f"\nFMM, 1 thread on 4 candidate cores: pinned peak "
+        "\nFMM, 1 thread on 4 candidate cores: pinned peak "
         f"{pinned.peak_temperature_c:.1f} C / {pinned.total_time_s * 1e6:.0f} us; "
         f"rotated peak {rotated.peak_temperature_c:.1f} C / "
         f"{rotated.total_time_s * 1e6:.0f} us "

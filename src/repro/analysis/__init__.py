@@ -1,0 +1,89 @@
+"""Static invariant analysis for the repro tree (``repro check``).
+
+Four checker families guard the properties the reproduction's tests
+assume but cannot economically re-verify on every run:
+
+* **determinism** — simulation/model code must not read wall clocks,
+  draw unseeded randomness, or iterate unordered collections where
+  order reaches results (bitwise-identical reruns are a tier-1
+  invariant);
+* **units** — SI base units internally, with conversions through
+  :mod:`repro.units` named constants only;
+* **hotpath** — functions marked ``# repro: hot`` stay allocation-
+  and dispatch-free (the PR 2 fast-path contract);
+* **picklability** — everything crossing the executor outcome channel
+  or the result cache stays pickle-stable.
+
+Public API::
+
+    from repro.analysis import AnalysisOptions, analyze_tree
+    report = analyze_tree(AnalysisOptions(root=Path("src/repro")))
+    for finding in report.findings:
+        print(finding.location, finding.rule, finding.message)
+
+See docs/ANALYSIS.md for every rule, the suppression syntax, and the
+baseline workflow.
+"""
+
+from repro.analysis.baseline import (
+    BASELINE_SCHEMA,
+    Baseline,
+    BaselineEntry,
+    baseline_from_document,
+    baseline_from_findings,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.findings import (
+    SEVERITIES,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+    Rule,
+)
+from repro.analysis.index import ClassInfo, FunctionInfo, TreeIndex, build_index
+from repro.analysis.runner import (
+    REPORT_SCHEMA,
+    RULE_IDS,
+    RULES,
+    AnalysisOptions,
+    AnalysisReport,
+    analyze_tree,
+    default_baseline_path,
+    format_text,
+    rule_by_id,
+    validate_report_document,
+)
+from repro.analysis.source import SourceError, SourceFile, load_source_file
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "REPORT_SCHEMA",
+    "RULES",
+    "RULE_IDS",
+    "SEVERITIES",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "AnalysisOptions",
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "ClassInfo",
+    "Finding",
+    "FunctionInfo",
+    "Rule",
+    "SourceError",
+    "SourceFile",
+    "TreeIndex",
+    "analyze_tree",
+    "baseline_from_document",
+    "baseline_from_findings",
+    "build_index",
+    "default_baseline_path",
+    "format_text",
+    "load_baseline",
+    "load_source_file",
+    "rule_by_id",
+    "save_baseline",
+    "validate_report_document",
+]

@@ -1,0 +1,174 @@
+"""Committed finding baseline: the analyzer's ratchet.
+
+The gate is *zero findings beyond the baseline*, not zero findings: a
+finding can be suppressed inline (``# repro: allow[...]``) where the
+code is right and the rule is wrong, or recorded here where the debt
+is real but not this PR's job.  The baseline is committed
+(``analysis/baseline.json``) so the debt is visible in review, and
+``repro check --update-baseline`` rewrites it from the current tree —
+CI runs that and fails on drift, so the file can never go stale
+silently.
+
+Identity is the finding's :attr:`~repro.analysis.findings.Finding.key`
+(rule + path + message — deliberately line-insensitive, so unrelated
+edits that shift code do not invalidate entries) with a per-key count:
+three baselined ``DET-SET-ORDER`` findings in one file allow exactly
+three; a fourth is new.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import ConfigurationError
+
+BASELINE_SCHEMA = "repro-analysis-baseline-v1"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding identity with its allowed count."""
+
+    key: str
+    count: int
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"key": self.key, "count": self.count, "reason": self.reason}
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """The committed set of accepted findings."""
+
+    entries: Tuple[BaselineEntry, ...] = ()
+
+    def allowance(self) -> Dict[str, int]:
+        """Allowed occurrence count per finding key."""
+        allowed: Dict[str, int] = {}
+        for entry in self.entries:
+            allowed[entry.key] = allowed.get(entry.key, 0) + entry.count
+        return allowed
+
+    def reasons(self) -> Dict[str, str]:
+        """Recorded reason per key (first non-empty wins)."""
+        reasons: Dict[str, str] = {}
+        for entry in self.entries:
+            if entry.key not in reasons or not reasons[entry.key]:
+                reasons[entry.key] = entry.reason
+        return reasons
+
+    def new_findings(self, findings: Iterable[Finding]) -> List[Finding]:
+        """Findings beyond this baseline's allowance, sorted.
+
+        For each key the first ``count`` occurrences (in sorted order)
+        are absorbed; the rest are new.
+        """
+        allowed = self.allowance()
+        new: List[Finding] = []
+        for finding in sorted(findings):
+            remaining = allowed.get(finding.key, 0)
+            if remaining > 0:
+                allowed[finding.key] = remaining - 1
+            else:
+                new.append(finding)
+        return new
+
+    def stale_keys(self, findings: Iterable[Finding]) -> List[str]:
+        """Baseline keys no longer matched by any live finding, sorted.
+
+        Stale entries mean the debt was paid; ``--update-baseline``
+        removes them, and CI's drift check makes sure that happens.
+        """
+        live: Dict[str, int] = {}
+        for finding in findings:
+            live[finding.key] = live.get(finding.key, 0) + 1
+        stale: List[str] = []
+        for key, count in sorted(self.allowance().items()):
+            if live.get(key, 0) < count:
+                stale.append(key)
+        return stale
+
+
+def baseline_from_findings(
+    findings: Iterable[Finding], previous: "Baseline" = Baseline()
+) -> Baseline:
+    """A fresh baseline covering exactly ``findings``.
+
+    Reasons recorded in ``previous`` carry over for keys that survive;
+    new keys get an empty reason for a human to fill in.
+    """
+    reasons = previous.reasons()
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.key] = counts.get(finding.key, 0) + 1
+    entries = tuple(
+        BaselineEntry(key=key, count=count, reason=reasons.get(key, ""))
+        for key, count in sorted(counts.items())
+    )
+    return Baseline(entries=entries)
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not path.exists():
+        return Baseline()
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"unreadable baseline {path}: {exc}") from exc
+    return baseline_from_document(document, source=str(path))
+
+
+def baseline_from_document(
+    document: Mapping[str, Any], source: str = "<document>"
+) -> Baseline:
+    """Parse the JSON document form produced by :func:`save_baseline`."""
+    if not isinstance(document, Mapping):
+        raise ConfigurationError(f"{source}: baseline must be a JSON object")
+    schema = document.get("schema")
+    if schema != BASELINE_SCHEMA:
+        raise ConfigurationError(
+            f"{source}: unknown baseline schema {schema!r} "
+            f"(expected {BASELINE_SCHEMA!r})"
+        )
+    raw_entries = document.get("entries", [])
+    if not isinstance(raw_entries, list):
+        raise ConfigurationError(f"{source}: 'entries' must be a list")
+    entries: List[BaselineEntry] = []
+    for raw in raw_entries:
+        try:
+            entry = BaselineEntry(
+                key=str(raw["key"]),
+                count=int(raw["count"]),
+                reason=str(raw.get("reason", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"{source}: malformed baseline entry {raw!r}"
+            ) from exc
+        if entry.count < 1:
+            raise ConfigurationError(
+                f"{source}: entry {entry.key!r} has non-positive count"
+            )
+        entries.append(entry)
+    return Baseline(entries=tuple(sorted(entries, key=lambda e: e.key)))
+
+
+def save_baseline(baseline: Baseline, path: Path) -> None:
+    """Write ``baseline`` as deterministic, diff-friendly JSON."""
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            entry.to_dict()
+            for entry in sorted(baseline.entries, key=lambda e: e.key)
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )

@@ -1,0 +1,424 @@
+"""Determinism checker: wall clocks, unseeded RNGs, unordered iteration.
+
+The repo's headline guarantee — bitwise-identical counters across
+kernels, serial/parallel sweeps, and warm caches — holds only if the
+simulation subsystems never read host state that varies between runs or
+processes.  This checker walks ``sim/``, ``power/``, ``thermal/``, and
+``workloads/`` (the modules that feed simulated counters) and flags:
+
+* ``DET-WALLCLOCK`` — reads of the host clock (``time.time``,
+  ``time.perf_counter``, ``datetime.now``, ...).  Host-side profiling
+  timers are legitimate *when their readings never feed simulated
+  state*; suppress those sites inline with a reason.
+* ``DET-RANDOM`` — draws from the process-global ``random`` module, an
+  unseeded ``random.Random()``, or ``numpy.random`` module functions.
+  Seeded ``random.Random(seed)`` instances are the supported idiom.
+* ``DET-SET-ORDER`` — iteration over ``set``-typed values or
+  ``os.environ``: the order is an implementation detail, so any
+  order-sensitive consumption (accumulation, scheduling, first-match
+  scans) is a cross-run hazard.  Wrap in ``sorted(...)`` or suppress
+  with an argument why order cannot matter.
+* ``DET-FLOAT-SUM`` — ``sum()`` over a set or over ``dict`` views:
+  float addition does not commute, so the accumulation order must be
+  canonical before the result may feed a counter or a cache key.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.index import FunctionInfo, TreeIndex, _annotation_is_set
+from repro.analysis.source import SourceFile
+
+#: Subtrees (relative to the analyzed root) the determinism rules cover.
+DEFAULT_SCOPE: Tuple[str, ...] = ("sim/", "power/", "thermal/", "workloads/")
+
+#: Relative paths containing these fragments are host-side by contract.
+SCOPE_EXEMPT_FRAGMENTS: Tuple[str, ...] = ("telemetry/", "profiling")
+
+_WALLCLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_WALLCLOCK_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+_GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "seed",
+        "getrandbits",
+        "randbytes",
+    }
+)
+
+
+def in_scope(rel: str, scope: Tuple[str, ...] = DEFAULT_SCOPE) -> bool:
+    """Whether the determinism rules apply to this relative path."""
+    if any(fragment in rel for fragment in SCOPE_EXEMPT_FRAGMENTS):
+        return False
+    return any(rel.startswith(prefix) for prefix in scope)
+
+
+def _call_target(node: ast.Call) -> Tuple[Optional[str], str]:
+    """``(base, attr)`` of a call: ``time.time()`` -> ("time", "time")."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        base: Optional[str] = None
+        if isinstance(func.value, ast.Name):
+            base = func.value.id
+        elif isinstance(func.value, ast.Attribute):
+            base = func.value.attr
+        return base, func.attr
+    if isinstance(func, ast.Name):
+        return None, func.id
+    return None, ""
+
+
+class _ModuleAliases:
+    """Names the module binds to ``time``/``random``/``numpy``/``datetime``."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.time: Set[str] = set()
+        self.random: Set[str] = set()
+        self.numpy: Set[str] = set()
+        self.datetime: Set[str] = set()
+        #: Wall-clock function names imported directly
+        #: (``from time import perf_counter``).
+        self.bare_wallclock: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    if alias.name in ("time", "random", "datetime"):
+                        getattr(self, alias.name).add(bound)
+                    elif alias.name in ("numpy", "numpy.random"):
+                        self.numpy.add(bound)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _WALLCLOCK_TIME_ATTRS:
+                            self.bare_wallclock.add(alias.asname or alias.name)
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name == "datetime":
+                            self.datetime.add(alias.asname or alias.name)
+
+
+def _set_like_names(function: FunctionInfo, index: TreeIndex) -> Set[str]:
+    """Names bound to set-typed values inside one function.
+
+    Covers parameters annotated as sets, locals assigned from set
+    displays/constructors, and locals assigned from calls to functions
+    in the tree whose return annotation is a set.
+    """
+    names: Set[str] = set()
+    args = function.node.args
+    for arg in list(args.args) + list(args.kwonlyargs):
+        if _annotation_is_set(arg.annotation):
+            names.add(arg.arg)
+    for node in ast.walk(function.node):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not _is_set_expr(node.value, names, index):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _is_set_expr(
+    node: ast.expr, set_names: Set[str], index: Optional[TreeIndex]
+) -> bool:
+    """Whether an expression is syntactically set-valued."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        # Set algebra preserves set-ness; require one known-set side.
+        return _is_set_expr(node.left, set_names, index) or _is_set_expr(
+            node.right, set_names, index
+        )
+    if isinstance(node, ast.Call):
+        base, attr = _call_target(node)
+        if base is None and attr in ("set", "frozenset"):
+            return True
+        if index is not None:
+            candidates = index.functions.get(attr, [])
+            if candidates and all(c.returns_set for c in candidates):
+                return True
+    return False
+
+
+def _is_environ(node: ast.expr) -> bool:
+    """``os.environ`` or a view of it (``os.environ.keys()`` ...)."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in ("keys", "values", "items"):
+            return _is_environ(node.func.value)
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "environ"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "os"
+    )
+
+
+def _is_dict_view(node: ast.expr) -> bool:
+    """A ``.values()``/``.keys()``/``.items()`` call on anything."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("values", "keys", "items")
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _unordered_iter(
+    node: ast.expr, set_names: Set[str], index: TreeIndex
+) -> Optional[str]:
+    """Describe why iterating ``node`` is order-fragile, or ``None``.
+
+    ``sorted(...)`` wrappers canonicalise the order, and ``list``/
+    ``tuple`` wrappers are looked through (they preserve it).
+    """
+    if isinstance(node, ast.Call):
+        base, attr = _call_target(node)
+        if base is None and attr == "sorted":
+            return None
+        if base is None and attr in ("list", "tuple") and node.args:
+            return _unordered_iter(node.args[0], set_names, index)
+    if _is_environ(node):
+        return "os.environ"
+    if _is_set_expr(node, set_names, index):
+        return "a set"
+    return None
+
+
+def check(
+    index: TreeIndex, scope: Tuple[str, ...] = DEFAULT_SCOPE
+) -> List[Finding]:
+    """Run every determinism rule over the indexed tree."""
+    findings: List[Finding] = []
+    for source in index.files:
+        if not in_scope(source.rel, scope):
+            continue
+        aliases = _ModuleAliases(source.tree)
+        _check_calls(source, aliases, findings)
+        _check_iteration(source, index, findings)
+    return findings
+
+
+def _check_calls(
+    source: SourceFile, aliases: _ModuleAliases, findings: List[Finding]
+) -> None:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        base, attr = _call_target(node)
+        line = node.lineno
+        if (
+            (base in aliases.time and attr in _WALLCLOCK_TIME_ATTRS)
+            or (base in aliases.datetime and attr in _WALLCLOCK_DATETIME_ATTRS)
+            or (base is None and attr in aliases.bare_wallclock)
+        ):
+            findings.append(
+                Finding(
+                    path=source.rel,
+                    line=line,
+                    rule="DET-WALLCLOCK",
+                    severity="error",
+                    message=f"wall-clock read `{attr}` in a simulation module",
+                    snippet=source.snippet(line),
+                )
+            )
+        elif base in aliases.random and attr in _GLOBAL_RANDOM_FUNCS:
+            findings.append(
+                Finding(
+                    path=source.rel,
+                    line=line,
+                    rule="DET-RANDOM",
+                    severity="error",
+                    message=(
+                        f"process-global RNG `random.{attr}`; use a seeded "
+                        "random.Random instance"
+                    ),
+                    snippet=source.snippet(line),
+                )
+            )
+        elif (
+            base in aliases.random
+            and attr == "Random"
+            and not node.args
+            and not node.keywords
+        ):
+            findings.append(
+                Finding(
+                    path=source.rel,
+                    line=line,
+                    rule="DET-RANDOM",
+                    severity="error",
+                    message="unseeded random.Random(); pass an explicit seed",
+                    snippet=source.snippet(line),
+                )
+            )
+        elif base == "random" and aliases.numpy:
+            # `np.random.standard_normal(...)`: func is Attribute whose
+            # value is the Attribute `np.random`.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in aliases.numpy
+            ):
+                findings.append(
+                    Finding(
+                        path=source.rel,
+                        line=line,
+                        rule="DET-RANDOM",
+                        severity="error",
+                        message=(
+                            f"global numpy RNG `numpy.random.{attr}`; use "
+                            "numpy.random.default_rng(seed)"
+                        ),
+                        snippet=source.snippet(line),
+                    )
+                )
+        elif base is None and attr == "default_rng" and not node.args:
+            findings.append(
+                Finding(
+                    path=source.rel,
+                    line=line,
+                    rule="DET-RANDOM",
+                    severity="error",
+                    message="unseeded default_rng(); pass an explicit seed",
+                    snippet=source.snippet(line),
+                )
+            )
+
+
+def _check_iteration(
+    source: SourceFile, index: TreeIndex, findings: List[Finding]
+) -> None:
+    functions = [
+        info
+        for infos in index.functions.values()
+        for info in infos
+        if info.file is source
+    ]
+    #: Pre-computed set-like locals per function scope.
+    set_names_by_function: Dict[int, Set[str]] = {
+        id(info.node): _set_like_names(info, index) for info in functions
+    }
+
+    def names_for(node: ast.AST) -> Set[str]:
+        return set_names_by_function.get(id(node), set())
+
+    for info in functions:
+        set_names = names_for(info.node)
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.For):
+                reason = _unordered_iter(node.iter, set_names, index)
+                if reason is not None:
+                    line = node.lineno
+                    findings.append(
+                        Finding(
+                            path=source.rel,
+                            line=line,
+                            rule="DET-SET-ORDER",
+                            severity="warning",
+                            message=(
+                                f"iteration over {reason}: order is an "
+                                "implementation detail; sort or suppress "
+                                "with a why-order-free argument"
+                            ),
+                            snippet=source.snippet(line),
+                        )
+                    )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for generator in node.generators:
+                    reason = _unordered_iter(generator.iter, set_names, index)
+                    if reason is not None:
+                        line = node.lineno
+                        findings.append(
+                            Finding(
+                                path=source.rel,
+                                line=line,
+                                rule="DET-SET-ORDER",
+                                severity="warning",
+                                message=(
+                                    f"comprehension over {reason}: order is "
+                                    "an implementation detail; sort or "
+                                    "suppress with a why-order-free argument"
+                                ),
+                                snippet=source.snippet(line),
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                base, attr = _call_target(node)
+                if base is None and attr == "sum" and node.args:
+                    argument = node.args[0]
+                    hazard = _float_sum_hazard(argument, set_names, index)
+                    if hazard is not None:
+                        line = node.lineno
+                        findings.append(
+                            Finding(
+                                path=source.rel,
+                                line=line,
+                                rule="DET-FLOAT-SUM",
+                                severity="warning",
+                                message=(
+                                    f"sum() over {hazard}: float accumulation "
+                                    "order must be canonical; sort first or "
+                                    "suppress with a why-order-free argument"
+                                ),
+                                snippet=source.snippet(line),
+                            )
+                        )
+
+
+def _float_sum_hazard(
+    argument: ast.expr, set_names: Set[str], index: TreeIndex
+) -> Optional[str]:
+    """Why a ``sum()`` argument has fragile accumulation order."""
+    if _is_set_expr(argument, set_names, index):
+        return "a set"
+    if _is_dict_view(argument):
+        return "a dict view"
+    if isinstance(argument, (ast.GeneratorExp, ast.ListComp)):
+        for generator in argument.generators:
+            if _is_set_expr(generator.iter, set_names, index):
+                return "a set"
+            if _is_dict_view(generator.iter):
+                return "a dict view"
+            if _is_environ(generator.iter):
+                return "os.environ"
+    return None

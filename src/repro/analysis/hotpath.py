@@ -1,0 +1,199 @@
+"""Hot-path discipline checker.
+
+The simulator's per-op loops (``Core.step_fast``, the scheduler window
+in ``sim/cmp.py``, the compiled-stream dispatch in ``sim/ops.py``, the
+tracer's disabled no-op path) dominate wall-clock time.  PR 2 earned
+its speedup by keeping those loops allocation-free and
+dynamic-dispatch-free; this checker keeps them that way.
+
+A function opts in with a ``# repro: hot`` marker (see
+:mod:`repro.analysis.source`).  Inside a marked function:
+
+* ``HOT-ALLOC`` — closures (``def``/``lambda`` in the body) anywhere,
+  and comprehensions/generator expressions *inside a loop*: each
+  builds a fresh object per iteration.  A comprehension before the
+  loop is setup cost and is fine.
+* ``HOT-GETATTR`` — ``getattr``/``hasattr``/``setattr`` anywhere:
+  dynamic attribute dispatch defeats the compiled-stream design; bind
+  attributes to locals before the loop instead.
+* ``HOT-TRY`` — ``try`` inside a loop: zero-cost only until it isn't
+  (the handler path), and it hides per-op control flow.  Hoist the
+  try outside the loop.
+* ``HOT-FORMAT`` — f-strings with substitutions, ``str.format``,
+  ``%``-formatting, and ``logging`` calls: string building per op is
+  pure overhead.  Exception: anything inside a ``raise`` statement —
+  error paths execute at most once and deserve good messages.
+
+The rules are warnings (they gate like everything else; severity only
+ranks report output).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.index import FunctionInfo, TreeIndex
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+_LOOPS = (ast.For, ast.While, ast.AsyncFor)
+
+_DYNAMIC_ATTR_BUILTINS = ("getattr", "hasattr", "setattr")
+
+_LOG_METHODS = ("debug", "info", "warning", "error", "exception", "critical", "log")
+
+
+def check(index: TreeIndex) -> List[Finding]:
+    """Run the HOT-* rules over every ``# repro: hot`` function."""
+    findings: List[Finding] = []
+    for infos in index.functions.values():
+        for info in infos:
+            if info.is_hot:
+                _check_function(info, findings)
+    findings.sort()
+    return findings
+
+
+def _raise_lines(function: FunctionInfo) -> Set[int]:
+    """Line spans of every ``raise`` subtree (exempt from HOT-FORMAT)."""
+    lines: Set[int] = set()
+    for node in ast.walk(function.node):
+        if isinstance(node, ast.Raise):
+            end = getattr(node, "end_lineno", None) or node.lineno
+            lines.update(range(node.lineno, end + 1))
+    return lines
+
+
+def _emit(
+    function: FunctionInfo,
+    node: ast.AST,
+    rule: str,
+    message: str,
+    findings: List[Finding],
+) -> None:
+    line = getattr(node, "lineno", function.node.lineno)
+    findings.append(
+        Finding(
+            path=function.file.rel,
+            line=line,
+            rule=rule,
+            severity="warning",
+            message=f"in hot function `{function.qualname}`: {message}",
+            snippet=function.file.snippet(line),
+        )
+    )
+
+
+def _check_function(function: FunctionInfo, findings: List[Finding]) -> None:
+    raise_lines = _raise_lines(function)
+
+    def scan(node: ast.AST, in_loop: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                _emit(
+                    function,
+                    child,
+                    "HOT-ALLOC",
+                    f"nested function `{child.name}` allocates a closure; "
+                    "hoist it to module or class scope",
+                    findings,
+                )
+                # Do not descend: the closure has its own (cold) body.
+                continue
+            if isinstance(child, ast.Lambda):
+                _emit(
+                    function,
+                    child,
+                    "HOT-ALLOC",
+                    "lambda allocates a closure; hoist it out of the hot path",
+                    findings,
+                )
+                continue
+            if isinstance(child, _COMPREHENSIONS) and in_loop:
+                kind = type(child).__name__
+                _emit(
+                    function,
+                    child,
+                    "HOT-ALLOC",
+                    f"{kind} inside a loop allocates per iteration; "
+                    "hoist it or rewrite as an explicit accumulation",
+                    findings,
+                )
+            if isinstance(child, ast.Try) and in_loop:
+                _emit(
+                    function,
+                    child,
+                    "HOT-TRY",
+                    "try/except inside a loop; hoist the try outside "
+                    "the per-op loop",
+                    findings,
+                )
+            if isinstance(child, ast.Call):
+                _check_call(function, child, raise_lines, findings)
+            if (
+                isinstance(child, ast.JoinedStr)
+                and child.lineno not in raise_lines
+                and any(
+                    isinstance(part, ast.FormattedValue) for part in child.values
+                )
+            ):
+                _emit(
+                    function,
+                    child,
+                    "HOT-FORMAT",
+                    "f-string builds a string per execution; hot paths "
+                    "must not format (raise statements are exempt)",
+                    findings,
+                )
+            scan(child, in_loop or isinstance(child, _LOOPS))
+
+    scan(function.node, False)
+
+
+def _check_call(
+    function: FunctionInfo,
+    node: ast.Call,
+    raise_lines: Set[int],
+    findings: List[Finding],
+) -> None:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _DYNAMIC_ATTR_BUILTINS:
+        _emit(
+            function,
+            node,
+            "HOT-GETATTR",
+            f"`{func.id}()` is dynamic attribute dispatch; bind the "
+            "attribute to a local before the loop",
+            findings,
+        )
+        return
+    if node.lineno in raise_lines:
+        return
+    if isinstance(func, ast.Attribute):
+        if func.attr == "format" and isinstance(
+            func.value, (ast.Constant, ast.Name, ast.Attribute)
+        ):
+            if not (
+                isinstance(func.value, ast.Constant)
+                and not isinstance(func.value.value, str)
+            ):
+                _emit(
+                    function,
+                    node,
+                    "HOT-FORMAT",
+                    "`.format()` call; hot paths must not build strings",
+                    findings,
+                )
+            return
+        if func.attr in _LOG_METHODS and isinstance(func.value, ast.Name):
+            base = func.value.id.lower()
+            if base in ("log", "logger", "logging"):
+                _emit(
+                    function,
+                    node,
+                    "HOT-FORMAT",
+                    f"logging call `{func.value.id}.{func.attr}()`; "
+                    "hot paths must not log per op",
+                    findings,
+                )

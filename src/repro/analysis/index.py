@@ -1,0 +1,209 @@
+"""A light symbol/call index over one parsed source tree.
+
+The checkers need three things beyond raw ASTs:
+
+* every function definition with its qualified name, parameter names,
+  and hot-marker state (:class:`FunctionInfo`);
+* every class definition with enough structure to answer picklability
+  questions — module-level?, dataclass?, ``__slots__``?, annotated
+  fields (:class:`ClassInfo`);
+* name-based call resolution: given a call site ``f(x)`` or ``obj.f(x)``,
+  the candidate definitions of ``f`` anywhere in the tree.
+
+Resolution is deliberately *name-based*, not type-based: this is a
+convention checker for one repository, and in this codebase bare
+function/method names are near-unique.  Checkers treat ambiguous names
+(multiple definitions with conflicting signatures) as unresolvable and
+stay silent rather than guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.source import (
+    FunctionNode,
+    SourceError,
+    SourceFile,
+    load_source_file,
+)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition."""
+
+    name: str
+    qualname: str
+    file: SourceFile
+    node: FunctionNode
+    #: Positional-parameter names in order, ``self``/``cls`` stripped.
+    params: Tuple[str, ...]
+    is_method: bool
+    is_hot: bool
+    #: Whether the return annotation is a ``set``/``Set``/``frozenset``.
+    returns_set: bool
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One class definition."""
+
+    name: str
+    qualname: str
+    file: SourceFile
+    node: ast.ClassDef
+    module_level: bool
+    is_dataclass: bool
+    has_slots: bool
+    #: Class-level ``name: annotation`` pairs (dataclass fields).
+    field_annotations: Tuple[Tuple[str, ast.expr], ...]
+
+
+def _annotation_is_set(annotation: Optional[ast.expr]) -> bool:
+    """Whether an annotation names an unordered set type."""
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    return name in ("set", "Set", "frozenset", "FrozenSet", "AbstractSet")
+
+
+def _decorator_name(decorator: ast.expr) -> str:
+    node = decorator
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+@dataclass
+class TreeIndex:
+    """Every definition in one analyzed tree, keyed by bare name."""
+
+    root: Path
+    files: List[SourceFile] = field(default_factory=list)
+    errors: List[SourceError] = field(default_factory=list)
+    functions: Dict[str, List[FunctionInfo]] = field(default_factory=dict)
+    classes: Dict[str, List[ClassInfo]] = field(default_factory=dict)
+
+    def callable_params(self, name: str) -> Optional[Tuple[str, ...]]:
+        """Unambiguous parameter names of callable ``name``, if known.
+
+        Resolves plain functions and methods by definition name, and
+        classes through their dataclass fields or ``__init__``.  Returns
+        ``None`` when the name is unknown or its definitions disagree.
+        """
+        signatures = []
+        for info in self.functions.get(name, []):
+            signatures.append(info.params)
+        for cls in self.classes.get(name, []):
+            if cls.is_dataclass:
+                signatures.append(
+                    tuple(field_name for field_name, _ in cls.field_annotations)
+                )
+        unique = set(signatures)
+        if len(unique) != 1:
+            return None
+        return signatures[0]
+
+
+def _index_file(index: TreeIndex, source: SourceFile) -> None:
+    """Register every function and class of one file.
+
+    ``parent`` tracks the immediately enclosing scope kind:
+    ``"module"``, ``"class"``, or ``"function"`` — a def directly inside
+    a class body is a method; anything defined under a function is local.
+    """
+
+    def visit(node: ast.AST, scope: Tuple[str, ...], parent: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                is_method = parent == "class"
+                params = tuple(a.arg for a in child.args.args)
+                if is_method and params and params[0] in ("self", "cls"):
+                    params = params[1:]
+                index.functions.setdefault(child.name, []).append(
+                    FunctionInfo(
+                        name=child.name,
+                        qualname=".".join(scope + (child.name,)),
+                        file=source,
+                        node=child,
+                        params=params,
+                        is_method=is_method,
+                        is_hot=source.is_hot(child),
+                        returns_set=_annotation_is_set(child.returns),
+                    )
+                )
+                visit(child, scope + (child.name,), "function")
+            elif isinstance(child, ast.ClassDef):
+                decorators = {_decorator_name(d) for d in child.decorator_list}
+                has_slots = any(
+                    isinstance(stmt, ast.Assign)
+                    and any(
+                        isinstance(target, ast.Name) and target.id == "__slots__"
+                        for target in stmt.targets
+                    )
+                    for stmt in child.body
+                )
+                annotations = tuple(
+                    (stmt.target.id, stmt.annotation)
+                    for stmt in child.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                )
+                index.classes.setdefault(child.name, []).append(
+                    ClassInfo(
+                        name=child.name,
+                        qualname=".".join(scope + (child.name,)),
+                        file=source,
+                        node=child,
+                        module_level=parent == "module",
+                        is_dataclass="dataclass" in decorators,
+                        has_slots=has_slots,
+                        field_annotations=annotations,
+                    )
+                )
+                visit(child, scope + (child.name,), "class")
+            else:
+                # Defs nested in plain statements (if/try/with bodies)
+                # keep their enclosing scope kind.
+                visit(child, scope, parent)
+
+    visit(source.tree, (), "module")
+
+
+def build_index(root: Path, rel_paths: Optional[List[str]] = None) -> TreeIndex:
+    """Parse and index every ``*.py`` under ``root``.
+
+    ``rel_paths`` restricts the walk to an explicit list of files
+    (relative to ``root``); the default walks the whole tree in sorted
+    order so analysis output is deterministic.
+    """
+    index = TreeIndex(root=root)
+    if rel_paths is None:
+        paths = sorted(
+            path.relative_to(root).as_posix()
+            for path in root.rglob("*.py")
+            if "__pycache__" not in path.parts
+        )
+    else:
+        paths = sorted(rel_paths)
+    for rel in paths:
+        source, error = load_source_file(root / rel, rel)
+        if error is not None:
+            index.errors.append(error)
+        if source is not None:
+            index.files.append(source)
+            _index_file(index, source)
+    return index

@@ -1,0 +1,170 @@
+"""Picklability checker for the executor outcome channel.
+
+The sweep executor (:mod:`repro.harness.executor`) ships results
+between processes with :mod:`pickle`, and the
+:class:`~repro.harness.cache.ResultCache` persists the same objects to
+disk.  Anything reachable from those payloads must therefore be
+pickle-friendly *forever*: module-level classes (pickle stores a
+qualified name, not code), stable attribute layout (``__slots__`` or a
+dataclass — pickled blobs survive refactors only when the field set is
+explicit), and no lambdas anywhere in field defaults (lambdas cannot
+be pickled at all).
+
+Reachability starts from the configured root class names
+(:data:`PICKLE_ROOTS`) — the row types registered with the result
+store, the outcome/failure channel types, and the telemetry records —
+and follows dataclass field annotations transitively, resolving bare
+class names against the tree index.  String forward references are
+parsed and followed.
+
+Rules:
+
+* ``PICK-NESTED`` (error) — a reachable class defined inside a
+  function or another class; pickle cannot import it by name.
+* ``PICK-SLOTS`` (warning) — a reachable class that is neither a
+  dataclass nor defines ``__slots__``; its layout is implicit and
+  will drift.
+* ``PICK-LAMBDA`` (error) — a ``lambda`` in a reachable class's field
+  default or ``default_factory``; unpicklable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.index import ClassInfo, TreeIndex
+
+#: Class names whose instances cross the process/persistence boundary.
+#: Kept in sync with ``repro.harness.store._ROW_TYPES`` plus the
+#: executor outcome channel and telemetry record types (the meta-test
+#: in tests/analysis asserts the store registry is covered).
+PICKLE_ROOTS: Tuple[str, ...] = (
+    # harness/store.py row registry
+    "Scenario1Row",
+    "Scenario2Row",
+    "OverclockRow",
+    "PerCoreDVFSResult",
+    "DesignPoint",
+    "DesignRunRow",
+    "SimPointRow",
+    "Figure1Row",
+    "Figure2Row",
+    # executor outcome channel
+    "PointOutcome",
+    "PointFailure",
+    "SimPointTask",
+    "WorkloadSpec",
+    # telemetry records attached to outcomes
+    "KernelRecord",
+    "PointTelemetry",
+    "SpanRecord",
+)
+
+
+def _annotation_names(annotation: ast.expr) -> Set[str]:
+    """Every bare identifier mentioned by an annotation expression.
+
+    ``List[KernelRecord]`` yields ``{"List", "KernelRecord"}``; string
+    forward references are parsed and recursed into.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                continue
+            names |= _annotation_names(parsed.body)
+    return names
+
+
+def reachable_classes(index: TreeIndex) -> Dict[str, List[ClassInfo]]:
+    """Classes reachable from :data:`PICKLE_ROOTS` via field annotations.
+
+    Keyed by bare class name; a name maps to every definition the tree
+    holds (normally one).  Unresolvable names are simply absent — this
+    checker only judges code it can see.
+    """
+    reachable: Dict[str, List[ClassInfo]] = {}
+    queue: List[str] = [name for name in PICKLE_ROOTS]
+    seen: Set[str] = set()
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        definitions = index.classes.get(name, [])
+        if not definitions:
+            continue
+        reachable[name] = definitions
+        for definition in definitions:
+            for _, annotation in definition.field_annotations:
+                for referenced in sorted(_annotation_names(annotation)):
+                    if referenced not in seen:
+                        queue.append(referenced)
+    return reachable
+
+
+def check(index: TreeIndex) -> List[Finding]:
+    """Run the PICK-* rules over the reachable closure."""
+    findings: List[Finding] = []
+    for name, definitions in sorted(reachable_classes(index).items()):
+        for info in definitions:
+            _check_class(name, info, findings)
+    findings.sort()
+    return findings
+
+
+def _check_class(name: str, info: ClassInfo, findings: List[Finding]) -> None:
+    line = info.node.lineno
+    if not info.module_level:
+        findings.append(
+            Finding(
+                path=info.file.rel,
+                line=line,
+                rule="PICK-NESTED",
+                severity="error",
+                message=(
+                    f"pickled class `{info.qualname}` is not module-level; "
+                    "pickle imports classes by qualified name"
+                ),
+                snippet=info.file.snippet(line),
+            )
+        )
+    if not info.is_dataclass and not info.has_slots:
+        findings.append(
+            Finding(
+                path=info.file.rel,
+                line=line,
+                rule="PICK-SLOTS",
+                severity="warning",
+                message=(
+                    f"pickled class `{name}` is neither a dataclass nor "
+                    "defines __slots__; its field layout is implicit"
+                ),
+                snippet=info.file.snippet(line),
+            )
+        )
+    for stmt in info.node.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Lambda):
+                at = node.lineno
+                findings.append(
+                    Finding(
+                        path=info.file.rel,
+                        line=at,
+                        rule="PICK-LAMBDA",
+                        severity="error",
+                        message=(
+                            f"lambda in pickled class `{name}`; lambdas "
+                            "cannot be pickled — use a module-level function"
+                        ),
+                        snippet=info.file.snippet(at),
+                    )
+                )

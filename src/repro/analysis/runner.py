@@ -1,0 +1,323 @@
+"""Analysis driver: run every checker, apply suppressions, report.
+
+:func:`analyze_tree` is the single entry point the CLI, tests, and
+benchmarks share.  It parses the tree once
+(:func:`repro.analysis.index.build_index`), runs the four checker
+families, drops findings covered by inline ``# repro: allow[...]``
+suppressions, and returns a sorted :class:`AnalysisReport`.
+
+The report has a stable JSON document form (``repro check --format
+json``) validated by :func:`validate_report_document` — the same
+required-keys-with-types idiom the telemetry manifest uses — so
+downstream tooling can consume it without guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis import determinism, hotpath, picklability, unitcheck
+from repro.analysis.findings import Finding, Rule
+from repro.analysis.index import TreeIndex, build_index
+from repro.analysis.source import SourceError
+from repro.errors import ConfigurationError
+
+REPORT_SCHEMA = "repro-analysis-report-v1"
+
+#: Every rule the analyzer knows, in report order.
+RULES: Tuple[Rule, ...] = (
+    Rule(
+        id="DET-WALLCLOCK",
+        family="determinism",
+        severity="error",
+        summary="wall-clock read inside simulation/model code",
+    ),
+    Rule(
+        id="DET-RANDOM",
+        family="determinism",
+        severity="error",
+        summary="unseeded random number source",
+    ),
+    Rule(
+        id="DET-SET-ORDER",
+        family="determinism",
+        severity="warning",
+        summary="iteration over an unordered set/dict view",
+    ),
+    Rule(
+        id="DET-FLOAT-SUM",
+        family="determinism",
+        severity="warning",
+        summary="float sum over an order-unstable iterable",
+    ),
+    Rule(
+        id="UNIT-MIXED",
+        family="units",
+        severity="error",
+        summary="arithmetic mixes values of different unit suffixes",
+    ),
+    Rule(
+        id="UNIT-MAGIC",
+        family="units",
+        severity="warning",
+        summary="bare scale constant applied to a unit-suffixed value",
+    ),
+    Rule(
+        id="UNIT-ARG",
+        family="units",
+        severity="error",
+        summary="call-site unit suffix mismatch against parameter name",
+    ),
+    Rule(
+        id="HOT-ALLOC",
+        family="hotpath",
+        severity="warning",
+        summary="per-iteration allocation in a hot function",
+    ),
+    Rule(
+        id="HOT-GETATTR",
+        family="hotpath",
+        severity="warning",
+        summary="dynamic attribute dispatch in a hot function",
+    ),
+    Rule(
+        id="HOT-TRY",
+        family="hotpath",
+        severity="warning",
+        summary="try/except inside a hot loop",
+    ),
+    Rule(
+        id="HOT-FORMAT",
+        family="hotpath",
+        severity="warning",
+        summary="string formatting or logging in a hot function",
+    ),
+    Rule(
+        id="PICK-NESTED",
+        family="picklability",
+        severity="error",
+        summary="pickled class is not module-level",
+    ),
+    Rule(
+        id="PICK-SLOTS",
+        family="picklability",
+        severity="warning",
+        summary="pickled class has neither __slots__ nor @dataclass",
+    ),
+    Rule(
+        id="PICK-LAMBDA",
+        family="picklability",
+        severity="error",
+        summary="lambda stored on a pickled class",
+    ),
+)
+
+RULE_IDS: Tuple[str, ...] = tuple(rule.id for rule in RULES)
+
+_RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """The :class:`Rule` for ``rule_id``; raises on unknown ids."""
+    try:
+        return _RULES_BY_ID[rule_id.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown rule id {rule_id!r}; known: {', '.join(RULE_IDS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """What to analyze and which rules to run."""
+
+    root: Path
+    #: Restrict to these rule ids (empty = all rules).
+    rules: Tuple[str, ...] = ()
+    #: Restrict to these files, relative to ``root`` (None = whole tree).
+    rel_paths: Optional[Tuple[str, ...]] = None
+
+    def selected(self, rule_id: str) -> bool:
+        if not self.rules:
+            return True
+        return rule_id in self.rules
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The outcome of one analysis run."""
+
+    root: str
+    file_count: int
+    rules_run: Tuple[str, ...]
+    findings: Tuple[Finding, ...]
+    errors: Tuple[SourceError, ...] = ()
+    #: Findings dropped by inline ``# repro: allow[...]`` comments.
+    suppressed: Tuple[Finding, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """No findings and every file parsed."""
+        return not self.findings and not self.errors
+
+    def to_document(self) -> Dict[str, Any]:
+        """JSON document form (``repro check --format json``)."""
+        return {
+            "schema": REPORT_SCHEMA,
+            "root": self.root,
+            "file_count": self.file_count,
+            "rules_run": list(self.rules_run),
+            "finding_count": len(self.findings),
+            "suppressed_count": len(self.suppressed),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "errors": [
+                {"path": error.rel, "message": error.message}
+                for error in self.errors
+            ],
+        }
+
+
+#: Required top-level keys of the JSON report and their types — same
+#: validation idiom as the telemetry manifest.
+_REPORT_REQUIRED: Dict[str, type] = {
+    "schema": str,
+    "root": str,
+    "file_count": int,
+    "rules_run": list,
+    "finding_count": int,
+    "suppressed_count": int,
+    "findings": list,
+    "errors": list,
+}
+
+_FINDING_REQUIRED: Dict[str, type] = {
+    "rule": str,
+    "path": str,
+    "line": int,
+    "severity": str,
+    "message": str,
+    "snippet": str,
+}
+
+
+def validate_report_document(document: Mapping[str, Any]) -> List[str]:
+    """Schema problems of a JSON report document (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(document, Mapping):
+        return ["report must be a JSON object"]
+    for key, expected in _REPORT_REQUIRED.items():
+        if key not in document:
+            problems.append(f"missing key: {key}")
+        elif not isinstance(document[key], expected):
+            problems.append(
+                f"key {key}: expected {expected.__name__}, "
+                f"got {type(document[key]).__name__}"
+            )
+    if problems:
+        return problems
+    if document["schema"] != REPORT_SCHEMA:
+        problems.append(f"unknown schema {document['schema']!r}")
+    for position, raw in enumerate(document["findings"]):
+        if not isinstance(raw, Mapping):
+            problems.append(f"findings[{position}]: not an object")
+            continue
+        for key, expected in _FINDING_REQUIRED.items():
+            if key not in raw:
+                problems.append(f"findings[{position}]: missing key {key}")
+            elif not isinstance(raw[key], expected):
+                problems.append(
+                    f"findings[{position}].{key}: expected {expected.__name__}"
+                )
+        rule_id = raw.get("rule")
+        if isinstance(rule_id, str) and rule_id not in _RULES_BY_ID:
+            problems.append(f"findings[{position}]: unknown rule {rule_id!r}")
+    if document["finding_count"] != len(document["findings"]):
+        problems.append("finding_count does not match findings length")
+    return problems
+
+
+def _run_checkers(index: TreeIndex) -> List[Finding]:
+    findings: List[Finding] = []
+    findings.extend(determinism.check(index))
+    findings.extend(unitcheck.check(index))
+    findings.extend(hotpath.check(index))
+    findings.extend(picklability.check(index))
+    return findings
+
+
+def analyze_tree(options: AnalysisOptions) -> AnalysisReport:
+    """Run the analyzer per ``options`` and return the report."""
+    for rule_id in options.rules:
+        rule_by_id(rule_id)  # validate early; raises on unknown ids
+    rel_paths = list(options.rel_paths) if options.rel_paths is not None else None
+    index = build_index(options.root, rel_paths)
+    sources = {source.rel: source for source in index.files}
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in _run_checkers(index):
+        if not options.selected(finding.rule):
+            continue
+        source = sources.get(finding.path)
+        if source is not None and source.allowed(finding.rule, finding.line):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    rules_run = options.rules if options.rules else RULE_IDS
+    return AnalysisReport(
+        root=str(options.root),
+        file_count=len(index.files),
+        rules_run=tuple(rules_run),
+        findings=tuple(sorted(kept)),
+        errors=tuple(sorted(index.errors, key=lambda e: e.rel)),
+        suppressed=tuple(sorted(suppressed)),
+    )
+
+
+def format_text(
+    report: AnalysisReport, new_findings: Optional[Sequence[Finding]] = None
+) -> str:
+    """Human-readable report, one finding per block.
+
+    When ``new_findings`` is given (the post-baseline view), findings
+    absorbed by the baseline are tagged so the reader can tell ratchet
+    debt from regressions.
+    """
+    lines: List[str] = []
+    new_set = None if new_findings is None else set(new_findings)
+    for error in report.errors:
+        lines.append(f"{error.rel}: PARSE-ERROR {error.message}")
+    for finding in report.findings:
+        tag = ""
+        if new_set is not None:
+            tag = " NEW" if finding in new_set else " (baselined)"
+        lines.append(
+            f"{finding.location}: {finding.rule} "
+            f"[{finding.severity}]{tag} {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    shown = len(report.findings)
+    new_count = shown if new_set is None else len(new_set)
+    lines.append(
+        f"{report.file_count} files analyzed, {shown} findings "
+        f"({new_count} new, {len(report.suppressed)} suppressed inline)"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def default_baseline_path(root: Path) -> Path:
+    """Where the committed baseline lives for an analyzed ``root``.
+
+    The analyzed root is ``<repo>/src/repro``; the baseline is
+    committed at ``<repo>/analysis/baseline.json``.  Falls back to
+    ``analysis/baseline.json`` under the current directory when the
+    layout does not match (e.g. analyzing a test fixture tree).
+    """
+    candidate = root.resolve().parent.parent / "analysis" / "baseline.json"
+    if candidate.parent.parent.is_dir() and (
+        candidate.exists() or (root.resolve().parent.name == "src")
+    ):
+        return candidate
+    return Path("analysis") / "baseline.json"

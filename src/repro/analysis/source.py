@@ -1,0 +1,120 @@
+"""Parsed source files: AST, inline suppressions, and hot markers.
+
+Two comment conventions drive the analyzer (see docs/ANALYSIS.md):
+
+* ``# repro: allow[RULE-ID] reason`` — suppress RULE-ID findings on this
+  line or the line directly below (so the comment can sit on its own
+  line above a flagged statement).  Several ids may be listed,
+  comma-separated.  The reason is free text; write one.
+* ``# repro: hot`` — mark the next ``def`` as a hot-path function,
+  opting it into the HOT-* discipline rules.  The marker goes on the
+  line above the ``def`` (or its first decorator), or at the end of the
+  ``def`` line itself.
+
+Comments are read with :mod:`tokenize`, not regexes over raw lines, so
+marker-shaped text inside string literals is never misread as a marker.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[A-Za-z0-9_, \-]+)\]\s*(?P<reason>.*)"
+)
+_HOT_RE = re.compile(r"#\s*repro:\s*hot\b")
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass(frozen=True)
+class SourceError:
+    """A file the analyzer could not parse."""
+
+    rel: str
+    message: str
+
+
+class SourceFile:
+    """One parsed module: text, AST, and analyzer markers."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        #: Path relative to the analyzed root, with ``/`` separators.
+        self.rel = rel
+        self.text = text
+        self.lines: Tuple[str, ...] = tuple(text.splitlines())
+        self.tree: ast.Module = ast.parse(text, filename=str(path))
+        #: line -> rule ids allowed on that line (and the next one).
+        self.allows: Dict[int, FrozenSet[str]] = {}
+        #: Lines carrying a ``# repro: hot`` marker.
+        self.hot_marks: FrozenSet[int] = frozenset()
+        self._scan_comments()
+
+    def _scan_comments(self) -> None:
+        allows: Dict[int, FrozenSet[str]] = {}
+        hot: List[int] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                line = token.start[0]
+                allow = _ALLOW_RE.search(token.string)
+                if allow is not None:
+                    rules = frozenset(
+                        part.strip().upper()
+                        for part in allow.group("rules").split(",")
+                        if part.strip()
+                    )
+                    allows[line] = allows.get(line, frozenset()) | rules
+                if _HOT_RE.search(token.string):
+                    hot.append(line)
+        except tokenize.TokenError:
+            # The AST parsed, so this is a tokenizer corner case; treat
+            # the file as marker-free rather than failing the analysis.
+            pass
+        self.allows = allows
+        self.hot_marks = frozenset(hot)
+
+    def snippet(self, line: int) -> str:
+        """The stripped source line at 1-based ``line`` (or empty)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()[:160]
+        return ""
+
+    def allowed(self, rule: str, line: int) -> bool:
+        """Whether an inline suppression covers ``rule`` at ``line``."""
+        for at in (line, line - 1):
+            if rule.upper() in self.allows.get(at, frozenset()):
+                return True
+        return False
+
+    def is_hot(self, node: FunctionNode) -> bool:
+        """Whether ``node`` carries a ``# repro: hot`` marker."""
+        start = node.lineno
+        for decorator in node.decorator_list:
+            start = min(start, decorator.lineno)
+        return bool(
+            self.hot_marks & {start - 1, node.lineno}
+        )
+
+
+def load_source_file(
+    path: Path, rel: str
+) -> Tuple[Optional[SourceFile], Optional[SourceError]]:
+    """Parse one file; returns ``(file, None)`` or ``(None, error)``."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return None, SourceError(rel=rel, message=f"unreadable: {exc}")
+    try:
+        return SourceFile(path, rel, text), None
+    except SyntaxError as exc:
+        return None, SourceError(rel=rel, message=f"syntax error: {exc.msg}")

@@ -1,0 +1,309 @@
+"""SI-unit convention checker over name suffixes.
+
+The library's contract (:mod:`repro.units`) is SI base units everywhere
+internally — hertz, volts, watts, kelvin, seconds, square metres — with
+conversions only at API boundaries.  The convention that makes this
+checkable is the *name suffix*: ``frequency_hz``, ``wall_s``,
+``total_power_w``, ``temperature_k``, ``die_area_m2``.  This checker
+infers a unit for every suffixed name (including attributes, calls to
+suffixed functions, and string subscripts like ``event["wall_s"]``) and
+flags:
+
+* ``UNIT-MIXED`` — ``+``/``-``/comparisons between values of different
+  units (``x_hz + y_s``, ``t_c < t_k``): either a dimension error or a
+  scale error, both of which silently corrupt the physics.
+* ``UNIT-MAGIC`` — multiplying/dividing a unit-suffixed value by a bare
+  scale constant (``1e9``, ``1e-3``, ...): conversions must go through
+  the named constants (``GIGA``, ``MILLI``) or helpers of
+  :mod:`repro.units` so the intent is auditable.  The named constants
+  are float-identical to the literals, so a fix never changes results.
+* ``UNIT-ARG`` — passing a ``*_mhz``-suffixed value where the callee's
+  parameter is named ``*_hz`` (any unit pair): a unit mismatch at a
+  call boundary.
+
+Inference is conservative: a name with no recognised suffix has no
+unit, and arithmetic involving at most one united operand is never
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.index import TreeIndex
+from repro.analysis.source import SourceFile
+
+#: suffix -> (dimension, scale relative to the SI base of the dimension).
+UNIT_SUFFIXES: Dict[str, Tuple[str, float]] = {
+    # frequency
+    "hz": ("frequency", 1.0),
+    "khz": ("frequency", 1e3),
+    "mhz": ("frequency", 1e6),
+    "ghz": ("frequency", 1e9),
+    # time
+    "s": ("time", 1.0),
+    "ms": ("time", 1e-3),
+    "us": ("time", 1e-6),
+    "ns": ("time", 1e-9),
+    "ps": ("time", 1e-12),
+    # power
+    "w": ("power", 1.0),
+    "mw": ("power", 1e-3),
+    "uw": ("power", 1e-6),
+    "kw": ("power", 1e3),
+    # voltage
+    "v": ("voltage", 1.0),
+    "mv": ("voltage", 1e-3),
+    # energy
+    "j": ("energy", 1.0),
+    "nj": ("energy", 1e-9),
+    "pj": ("energy", 1e-12),
+    # temperature: kelvin and Celsius are distinct dimensions here —
+    # they differ by an offset, so no scale factor relates them.
+    "k": ("temperature-k", 1.0),
+    "c": ("temperature-c", 1.0),
+    # area / length
+    "m2": ("area", 1.0),
+    "mm2": ("area", 1e-6),
+    "m": ("length", 1.0),
+    "mm": ("length", 1e-3),
+    "um": ("length", 1e-6),
+    "nm": ("length", 1e-9),
+}
+
+#: Multi-character suffixes that also count as a whole bare name
+#: (``ns * 1000.0`` in a conversion helper); single letters never do.
+_BARE_TOKENS = frozenset(s for s in UNIT_SUFFIXES if len(s) > 1)
+
+#: Scale literals that must be written as named repro.units constants.
+#: Values, not spellings: ``1000.0`` matches ``KILO`` = 1e3.
+SCALE_CONSTANTS: Dict[float, str] = {
+    1e3: "KILO",
+    1e6: "MEGA",
+    1e9: "GIGA",
+    1e12: "TERA",
+    1e-3: "MILLI",
+    1e-6: "MICRO",
+    1e-9: "NANO",
+    1e-12: "PICO",
+}
+
+#: File names exempt from UNIT-MAGIC: the units module itself defines
+#: the constants, so its literals are the single source of truth.
+_MAGIC_EXEMPT = frozenset({"units.py"})
+
+_SCALE_NAMES = frozenset(SCALE_CONSTANTS.values())
+
+
+def _is_scale_factor(node: ast.expr) -> bool:
+    """Whether ``node`` is a conversion factor (literal or named).
+
+    Multiplying/dividing by one of these *changes* the unit, so unit
+    inference through such a BinOp must give up rather than propagate
+    the operand's suffix (``start_ns / KILO`` is microseconds, not
+    nanoseconds).
+    """
+    if _scale_constant(node) is not None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _SCALE_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SCALE_NAMES
+    return False
+
+
+def unit_of_name(identifier: str) -> Optional[str]:
+    """The unit suffix carried by one identifier, if any."""
+    lowered = identifier.lower()
+    if "_" in lowered:
+        suffix = lowered.rsplit("_", 1)[-1]
+        if suffix in UNIT_SUFFIXES:
+            return suffix
+        return None
+    if lowered in _BARE_TOKENS:
+        return lowered
+    return None
+
+
+def infer_unit(node: ast.expr) -> Optional[str]:
+    """Best-effort unit suffix of an expression, or ``None``.
+
+    Understands names, attributes, calls to suffixed functions, string
+    subscripts, unary ops, and ``+``/``-`` chains of one consistent
+    unit.  For ``*``/``/`` the unit propagates only when exactly one
+    side is united (scaling by a dimensionless factor).
+    """
+    if isinstance(node, ast.Name):
+        return unit_of_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_of_name(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return unit_of_name(func.attr)
+        if isinstance(func, ast.Name):
+            return unit_of_name(func.id)
+        return None
+    if isinstance(node, ast.Subscript):
+        index = node.slice
+        if isinstance(index, ast.Constant) and isinstance(index.value, str):
+            return unit_of_name(index.value)
+        return infer_unit(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return infer_unit(node.operand)
+    if isinstance(node, ast.BinOp):
+        left = infer_unit(node.left)
+        right = infer_unit(node.right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if left is not None and left == right:
+                return left
+            return None
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            if _is_scale_factor(node.left) or _is_scale_factor(node.right):
+                return None
+            if left is not None and right is None:
+                return left
+            if right is not None and left is None and isinstance(node.op, ast.Mult):
+                return right
+            return None
+    return None
+
+
+def _scale_constant(node: ast.expr) -> Optional[str]:
+    """The repro.units constant name matching a bare literal, if any."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        for value, name in SCALE_CONSTANTS.items():
+            if node.value == value:
+                return name
+    return None
+
+
+def check(index: TreeIndex) -> List[Finding]:
+    """Run every unit rule over the indexed tree."""
+    findings: List[Finding] = []
+    for source in index.files:
+        _check_arithmetic(source, findings)
+        _check_call_sites(source, index, findings)
+    return findings
+
+
+def _check_arithmetic(source: SourceFile, findings: List[Finding]) -> None:
+    check_magic = source.rel.rsplit("/", 1)[-1] not in _MAGIC_EXEMPT
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                _flag_mixed(
+                    source, node, infer_unit(node.left), infer_unit(node.right),
+                    findings,
+                )
+            elif check_magic and isinstance(node.op, (ast.Mult, ast.Div)):
+                for constant_side, united_side in (
+                    (node.right, node.left),
+                    (node.left, node.right),
+                ):
+                    constant = _scale_constant(constant_side)
+                    if constant is None:
+                        continue
+                    unit = infer_unit(united_side)
+                    if unit is None:
+                        continue
+                    line = node.lineno
+                    findings.append(
+                        Finding(
+                            path=source.rel,
+                            line=line,
+                            rule="UNIT-MAGIC",
+                            severity="warning",
+                            message=(
+                                f"bare scale constant on a `*_{unit}` value; "
+                                f"use repro.units.{constant} (same float, "
+                                "auditable intent)"
+                            ),
+                            snippet=source.snippet(line),
+                        )
+                    )
+                    break
+        elif isinstance(node, ast.Compare):
+            units = [infer_unit(node.left)] + [
+                infer_unit(comparator) for comparator in node.comparators
+            ]
+            present = [u for u in units if u is not None]
+            if len(present) >= 2 and len(set(present)) > 1:
+                _flag_mixed(source, node, present[0], present[1], findings)
+
+
+def _flag_mixed(
+    source: SourceFile,
+    node: ast.AST,
+    left: Optional[str],
+    right: Optional[str],
+    findings: List[Finding],
+) -> None:
+    if left is None or right is None or left == right:
+        return
+    left_dim, _ = UNIT_SUFFIXES[left]
+    right_dim, _ = UNIT_SUFFIXES[right]
+    if left_dim != right_dim:
+        detail = f"different dimensions ({left_dim} vs {right_dim})"
+    else:
+        detail = f"same dimension, different scales (_{left} vs _{right})"
+    line = getattr(node, "lineno", 0)
+    findings.append(
+        Finding(
+            path=source.rel,
+            line=line,
+            rule="UNIT-MIXED",
+            severity="error",
+            message=f"arithmetic mixes `_{left}` and `_{right}`: {detail}",
+            snippet=source.snippet(line),
+        )
+    )
+
+
+def _check_call_sites(
+    source: SourceFile, index: TreeIndex, findings: List[Finding]
+) -> None:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            callee = func.attr
+        elif isinstance(func, ast.Name):
+            callee = func.id
+        else:
+            continue
+        params = index.callable_params(callee)
+        if params is None:
+            continue
+        pairs: List[Tuple[str, ast.expr]] = []
+        for position, argument in enumerate(node.args):
+            if isinstance(argument, ast.Starred):
+                break
+            if position < len(params):
+                pairs.append((params[position], argument))
+        for keyword in node.keywords:
+            if keyword.arg is not None and keyword.arg in params:
+                pairs.append((keyword.arg, keyword.value))
+        for parameter, argument in pairs:
+            expected = unit_of_name(parameter)
+            actual = infer_unit(argument)
+            if expected is None or actual is None or expected == actual:
+                continue
+            line = node.lineno
+            findings.append(
+                Finding(
+                    path=source.rel,
+                    line=line,
+                    rule="UNIT-ARG",
+                    severity="error",
+                    message=(
+                        f"`_{actual}` value passed to parameter "
+                        f"`{parameter}` of `{callee}` (expects `_{expected}`)"
+                    ),
+                    snippet=source.snippet(line),
+                )
+            )
+    return None

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.units import NANO, m2_to_mm2
 
 #: 6T SRAM cell size in units of F^2, including a typical array overhead.
 _SRAM_CELL_F2 = 146.0
@@ -94,10 +95,10 @@ class CactiModel:
 
     def area_mm2(self, geometry: CacheGeometry) -> float:
         """Silicon area of the cache array in mm^2."""
-        f_m = self.feature_nm * 1e-9
+        f_m = self.feature_nm * NANO
         bits = geometry.capacity_bytes * 8
         cell_area_m2 = _SRAM_CELL_F2 * f_m * f_m
-        return bits * cell_area_m2 * _ARRAY_OVERHEAD * 1e6
+        return m2_to_mm2(bits * cell_area_m2 * _ARRAY_OVERHEAD)
 
     def access_time_ns(self, geometry: CacheGeometry) -> float:
         """Random-access latency in nanoseconds."""
@@ -111,7 +112,7 @@ class CactiModel:
         """Round-trip latency in (ceiling) clock cycles at ``frequency_hz``."""
         if frequency_hz <= 0:
             raise ConfigurationError("frequency must be positive")
-        return max(1, math.ceil(self.access_time_ns(geometry) * 1e-9 * frequency_hz))
+        return max(1, math.ceil(self.access_time_ns(geometry) * NANO * frequency_hz))
 
     def energy_per_access_nj(self, geometry: CacheGeometry, voltage: float) -> float:
         """Dynamic energy of one access, in nanojoules, at supply ``voltage``."""

@@ -27,6 +27,12 @@ docs/OBSERVABILITY.md).  ``repro trace export|metrics|validate`` reads
 those artifacts back: ``export`` writes Chrome ``trace_event`` JSON for
 chrome://tracing / Perfetto, ``metrics`` prints a per-phase wall-time
 table, ``validate`` checks a run against the manifest schema.
+
+``repro check`` runs the static invariant analyzer over the source tree
+(determinism, SI units, hot-path discipline, picklability — see
+docs/ANALYSIS.md) and exits non-zero on findings beyond the committed
+baseline; ``--update-baseline`` rewrites ``analysis/baseline.json``
+from the current tree.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from typing import List, Optional, Sequence
 from repro.core import AnalyticalChipModel, figure1_sweep, figure2_sweep
 from repro.harness import render_table
 from repro.tech import technology_by_name
+from repro.units import GIGA
 
 
 def _add_tech_argument(parser: argparse.ArgumentParser) -> None:
@@ -261,6 +268,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the (slower) experimental pipelines",
     )
 
+    check = commands.add_parser(
+        "check", help="static invariant analysis (see docs/ANALYSIS.md)"
+    )
+    check.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="source tree to analyze (default: the installed repro package)",
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    check.add_argument(
+        "--rule",
+        action="append",
+        default=[],
+        metavar="RULE-ID",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    check.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file (default: analysis/baseline.json next to src/)",
+    )
+    check.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline: every finding is new",
+    )
+    check.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    check.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id with its severity and summary",
+    )
+
     verify = commands.add_parser(
         "verify", help="self-check the reproduction's claims"
     )
@@ -391,7 +442,7 @@ def _cmd_fig4(args) -> int:
             context, models, core_counts=(1, 2, 4, 8, 12, 16), executor=executor
         )
         rows = [
-            [app, r.n, r.nominal_speedup, r.actual_speedup, r.frequency_hz / 1e9, r.power_w]
+            [app, r.n, r.nominal_speedup, r.actual_speedup, r.frequency_hz / GIGA, r.power_w]
             for app, app_rows in results.items()
             for r in app_rows
         ]
@@ -556,6 +607,73 @@ def _cmd_verify(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_check(args) -> int:
+    # Imported lazily: the analyzer is a dev-facing subsystem and the
+    # figure commands should not pay for it.
+    import json
+    from pathlib import Path
+
+    from repro import analysis
+
+    if args.list_rules:
+        rows = [
+            [rule.id, rule.family, rule.severity, rule.summary]
+            for rule in analysis.RULES
+        ]
+        print(render_table(["rule", "family", "severity", "summary"], rows))
+        return 0
+
+    if args.root is not None:
+        root = Path(args.root)
+    else:
+        root = Path(__file__).resolve().parent
+    if not root.is_dir():
+        print(f"error: analysis root {root} is not a directory", file=sys.stderr)
+        return 2
+
+    report = analysis.analyze_tree(
+        analysis.AnalysisOptions(
+            root=root, rules=tuple(r.upper() for r in args.rule)
+        )
+    )
+
+    if args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = analysis.default_baseline_path(root)
+
+    if args.update_baseline:
+        previous = analysis.load_baseline(baseline_path)
+        updated = analysis.baseline_from_findings(report.findings, previous)
+        analysis.save_baseline(updated, baseline_path)
+        print(
+            f"wrote {baseline_path} ({len(updated.entries)} entries, "
+            f"{len(report.findings)} findings)"
+        )
+        return 0
+
+    if args.no_baseline:
+        baseline = analysis.Baseline()
+    else:
+        baseline = analysis.load_baseline(baseline_path)
+    new = baseline.new_findings(report.findings)
+    stale = baseline.stale_keys(report.findings)
+
+    if args.format == "json":
+        document = report.to_document()
+        document["new_count"] = len(new)
+        document["new"] = [finding.to_dict() for finding in new]
+        document["stale_baseline_keys"] = stale
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(analysis.format_text(report, new), end="")
+        for key in stale:
+            print(f"stale baseline entry (debt paid — run --update-baseline): {key}")
+
+    failed = bool(new) or bool(report.errors)
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "fig1": _cmd_fig1,
     "fig2": _cmd_fig2,
@@ -564,6 +682,7 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "info": _cmd_info,
     "trace": _cmd_trace,
+    "check": _cmd_check,
     "report": _cmd_report,
     "verify": _cmd_verify,
 }

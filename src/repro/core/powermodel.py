@@ -25,14 +25,14 @@ than the ambient" bound that bends the curves of Figure 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.tech.leakage import LeakageFit, default_leakage_multiplier
 from repro.tech.technology import TechnologyNode
 from repro.thermal.compact import CompactThermalModel
-from repro.units import celsius_to_kelvin
+from repro.units import GIGA, celsius_to_kelvin
 
 
 @dataclass(frozen=True)
@@ -202,7 +202,7 @@ class AnalyticalChipModel:
             if updated > self.RUNAWAY_TEMPERATURE_K:
                 raise ConvergenceError(
                     f"thermal runaway at N={n_active}, V={v:.3f}, "
-                    f"f={f_hz / 1e9:.3f} GHz"
+                    f"f={f_hz / GIGA:.3f} GHz"
                 )
             if abs(updated - temperature) < tol_k:
                 return OperatingPoint(
@@ -215,7 +215,7 @@ class AnalyticalChipModel:
             temperature = temperature + damping * (updated - temperature)
         raise ConvergenceError(
             f"thermal fixed point did not converge at N={n_active}, "
-            f"V={v:.3f}, f={f_hz / 1e9:.3f} GHz"
+            f"V={v:.3f}, f={f_hz / GIGA:.3f} GHz"
         )
 
     def reference_point(self) -> OperatingPoint:
@@ -242,6 +242,6 @@ class AnalyticalChipModel:
             raise ConfigurationError("frequency must be positive")
         if f_hz > self.tech.fmax(v) * (1 + 1e-9):
             raise ConfigurationError(
-                f"{f_hz / 1e9:.3f} GHz exceeds f_max({v:.3f} V) = "
-                f"{self.tech.fmax(v) / 1e9:.3f} GHz"
+                f"{f_hz / GIGA:.3f} GHz exceeds f_max({v:.3f} V) = "
+                f"{self.tech.fmax(v) / GIGA:.3f} GHz"
             )

@@ -27,10 +27,9 @@ import numpy as np
 
 from repro.core.efficiency import ConstantEfficiency, EfficiencyCurve, SAMPLE_APPLICATION
 from repro.core.powermodel import AnalyticalChipModel
-from repro.core.scenario1 import PowerOptimizationScenario, Scenario1Point
-from repro.core.scenario2 import PerformanceOptimizationScenario, Scenario2Point
+from repro.core.scenario1 import PowerOptimizationScenario
+from repro.core.scenario2 import PerformanceOptimizationScenario
 from repro.errors import InfeasibleOperatingPoint
-from repro.tech.technology import TechnologyNode
 
 #: The core counts of Figure 1's curves.
 FIGURE1_CORE_COUNTS: Tuple[int, ...] = (2, 4, 8, 16, 32)

@@ -13,8 +13,7 @@ Both return plain strings; callers print them.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 

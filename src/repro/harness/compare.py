@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.core.efficiency import MeasuredEfficiency
 from repro.core.powermodel import AnalyticalChipModel

@@ -11,7 +11,6 @@ intended to be built once and shared across experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError

@@ -16,7 +16,7 @@ variant dictionaries that share a machine share its cached runs.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.harness.executor import SweepExecutor

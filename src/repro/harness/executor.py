@@ -45,7 +45,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError, ReproError
 from repro.harness.schema import SCHEMA_VERSION
@@ -145,7 +145,7 @@ def decode_value(encoded: Any) -> Any:
             if set(fields) != names:
                 raise ConfigurationError(
                     f"cached {encoded['type']} fields {sorted(fields)} do not "
-                    f"match the current dataclass"
+                    "match the current dataclass"
                 )
             return cls(**{name: decode_value(v) for name, v in fields.items()})
         raise ConfigurationError(f"malformed cache value: {encoded!r}")

@@ -26,12 +26,12 @@ are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Tuple
 
 from repro.errors import ConfigurationError
 from repro.harness.context import ExperimentContext
-from repro.sim.cmp import ChipSession, SimulationResult
+from repro.sim.cmp import ChipSession
 from repro.sim.ops import OP_BARRIER
 from repro.workloads.base import WorkloadModel
 

@@ -80,7 +80,10 @@ class KernelAggregate:
         subsystems = kernel.subsystem_s
         if isinstance(subsystems, dict):
             subsystems = subsystems.items()
-        for name, seconds in subsystems:
+        # Sorted fold: parallel workers hand records back in completion
+        # order, so accumulate alphabetically to keep the float totals
+        # (and the dict's insertion order) independent of scheduling.
+        for name, seconds in sorted(subsystems):
             self.subsystem_s[name] = self.subsystem_s.get(name, 0.0) + seconds
 
     @property

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional
 
 from repro.errors import ConfigurationError
 from repro.harness.executor import SweepExecutor

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.core import (
     AnalyticalChipModel,
@@ -23,6 +23,7 @@ from repro.harness.context import ExperimentContext
 from repro.harness.scenario1 import run_scenario1
 from repro.harness.scenario2 import run_scenario2
 from repro.tech import NODE_130NM, NODE_65NM
+from repro.units import GIGA
 from repro.workloads import workload_by_name
 
 
@@ -94,7 +95,7 @@ def _analytical_sections(out: io.StringIO) -> None:
         _markdown_table(
             ["N", "f* (GHz)", "E / E_nom", "T / T_nom"],
             [
-                [p.n, p.frequency_hz / 1e9, p.relative_energy, p.relative_time]
+                [p.n, p.frequency_hz / GIGA, p.relative_energy, p.relative_time]
                 for p in points
             ],
         )
@@ -137,7 +138,7 @@ def _experimental_sections(out: io.StringIO, options: ReportOptions) -> None:
     models = [workload_by_name(app) for app in options.scenario2_apps]
     fig4 = run_scenario2(context, models, core_counts=options.scenario2_core_counts)
     rows = [
-        [app, r.n, r.nominal_speedup, r.actual_speedup, r.frequency_hz / 1e9, r.power_w]
+        [app, r.n, r.nominal_speedup, r.actual_speedup, r.frequency_hz / GIGA, r.power_w]
         for app, app_rows in fig4.items()
         for r in app_rows
     ]

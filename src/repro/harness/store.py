@@ -123,7 +123,7 @@ def load_results(path: PathLike) -> Dict[str, List[Row]]:
         raise ConfigurationError(
             f"{path}: unknown results schema {document['schema']!r}; this "
             f"version of repro supports schema {SCHEMA_VERSION} — regenerate "
-            f"the campaign or upgrade the library"
+            "the campaign or upgrade the library"
         )
     groups = document.get("groups", {})
     if not isinstance(groups, dict):

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Tuple
 
 from repro.errors import ConfigurationError
 from repro.thermal.hotspot import HotSpotModel

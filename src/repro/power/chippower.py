@@ -25,7 +25,6 @@ from repro.power.static import StaticPowerModel
 from repro.power.wattch import WattchModel
 from repro.sim.cmp import SimulationResult
 from repro.telemetry.trace import get_tracer
-from repro.thermal.floorplan import Floorplan
 from repro.thermal.hotspot import HotSpotModel, ThermalResult
 from repro.units import kelvin_to_celsius
 
@@ -146,7 +145,9 @@ class ChipPowerModel:
         ) / active_area
 
         return ChipPowerResult(
+            # repro: allow[DET-FLOAT-SUM] maps are built in fixed block order
             dynamic_w=sum(dynamic_map.values()),
+            # repro: allow[DET-FLOAT-SUM] maps are built in fixed block order
             static_w=sum(static_map.values()),
             power_map=power_map,
             thermal=thermal_result,

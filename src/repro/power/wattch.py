@@ -133,4 +133,5 @@ class WattchModel:
 
     def total_dynamic_power_w(self, result: SimulationResult) -> float:
         """Chip-wide average dynamic power (watts)."""
+        # repro: allow[DET-FLOAT-SUM] map is built in fixed subsystem order
         return sum(self.dynamic_power_map(result).values())

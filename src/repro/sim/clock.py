@@ -11,6 +11,7 @@ chip").
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
+from repro.units import GIGA, KILO
 
 #: Picoseconds per second.
 PS_PER_S = 1_000_000_000_000
@@ -35,9 +36,9 @@ class ClockDomain:
         return ps / self.period_ps
 
     def __repr__(self) -> str:
-        return f"ClockDomain({self.frequency_hz / 1e9:.3f} GHz)"
+        return f"ClockDomain({self.frequency_hz / GIGA:.3f} GHz)"
 
 
 def ns_to_ps(ns: float) -> int:
     """Convert nanoseconds to integer picoseconds."""
-    return int(round(ns * 1000.0))
+    return int(round(ns * KILO))

@@ -16,24 +16,17 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.bus import BankedCrossbar, BusConfig, SharedBus
 from repro.sim.cache import Cache, CacheConfig
 from repro.sim.clock import ClockDomain
 from repro.sim.coherence import CoherenceStats, MESIController
-from repro.sim.cpu import (
-    AT_BARRIER,
-    DONE,
-    RUNNING,
-    Core,
-    CoreStats,
-    CoreTimingConfig,
-    LockTable,
-)
+from repro.sim.cpu import DONE, RUNNING, Core, CoreStats, CoreTimingConfig, LockTable
 from repro.sim.memory import MainMemory, MemoryConfig
 from repro.telemetry.trace import get_tracer
+from repro.units import PICO
 
 #: Horizon passed to ``step_fast`` when no other core is pending in the
 #: heap: compares greater than every real ``(time_ps, core_id)`` key.
@@ -199,7 +192,7 @@ class SimulationResult:
     @property
     def execution_time_s(self) -> float:
         """Wall-clock execution time in seconds."""
-        return self.execution_time_ps * 1e-12
+        return self.execution_time_ps * PICO
 
     @property
     def total_instructions(self) -> int:
@@ -400,6 +393,7 @@ class ChipSession:
         self._memory.requests = 0
         self._locks.acquires = self._locks.contended_acquires = 0
 
+    # repro: hot
     def run_window(
         self,
         thread_ops: Sequence[Iterable[tuple]],
@@ -446,6 +440,7 @@ class ChipSession:
             mode="fast" if use_fast else "reference",
             threads=n_threads,
         ) as kernel_span:
+            # repro: allow[DET-WALLCLOCK] host-side kernel timing; never feeds simulated state
             wall_start = time.perf_counter()
 
             heap: List[tuple] = [(window_start, i) for i in range(n_threads)]
@@ -493,6 +488,7 @@ class ChipSession:
                     waiters.append(core_id)
                     if len(waiters) == n_threads:
                         barriers_seen += 1
+                        # repro: allow[HOT-ALLOC] runs once per barrier release, not per op
                         release = max(cores[w].time_ps for w in waiters)
                         release += clock.cycles_to_ps(
                             config.barrier_release_cycles
@@ -522,16 +518,20 @@ class ChipSession:
                             warmup_remaining = 0
                             self._reset_counters()
 
+            # repro: allow[DET-WALLCLOCK] host-side kernel timing; never feeds simulated state
             sim_wall_s = time.perf_counter() - wall_start
 
             if profile_timers and use_fast:
                 subsystem_counts: Dict[str, int] = {}
                 for core in cores:
-                    for name, seconds in core.subsystem_s.items():
+                    # Sorted so the totals' accumulation and insertion
+                    # order never depend on which op kind a core hit
+                    # first.
+                    for name, seconds in sorted(core.subsystem_s.items()):
                         subsystem_totals[name] = (
                             subsystem_totals.get(name, 0.0) + seconds
                         )
-                    for name, count in core.subsystem_n.items():
+                    for name, count in sorted(core.subsystem_n.items()):
                         subsystem_counts[name] = (
                             subsystem_counts.get(name, 0) + count
                         )
@@ -540,6 +540,7 @@ class ChipSession:
                 # aggregate child span of the window.
                 for name in sorted(subsystem_totals):
                     tracer.aggregate(
+                        # repro: allow[HOT-FORMAT] window epilogue; runs once per subsystem per window
                         f"kernel.slow_path.{name}",
                         subsystem_totals[name],
                         count=subsystem_counts.get(name, 1),
@@ -565,7 +566,7 @@ class ChipSession:
                 barrier_ops=barrier_ops,
                 sim_wall_s=sim_wall_s,
             )
-            kernel.subsystem_s.update(subsystem_totals)
+            kernel.subsystem_s.update(sorted(subsystem_totals.items()))
         else:
             kernel = KernelStats(
                 mode="reference",

@@ -24,7 +24,7 @@ and recorded as a simplification in DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.errors import SimulationError
@@ -200,7 +200,8 @@ class MESIController:
         else:
             # The snoop downgrades any EXCLUSIVE peer to SHARED; a stale E
             # would later upgrade to M silently while we hold a copy.
-            for other in others:
+            # Sorted so the probe order never depends on set internals.
+            for other in sorted(others):
                 if self.l1s[other].probe(line) == EXCLUSIVE:
                     self.l1s[other].set_state(line, SHARED)
             ready = self._fetch_from_l2_or_memory(grant, byte_address)
@@ -277,13 +278,15 @@ class MESIController:
     # -- snoop actions ---------------------------------------------------------
 
     def _find_modified_owner(self, line: int, others: Set[int]):
-        for other in others:
+        # MESI allows at most one MODIFIED owner, so any probe order finds
+        # the same core; sorted keeps the walk order canonical anyway.
+        for other in sorted(others):
             if self.l1s[other].probe(line) == MODIFIED:
                 return other
         return None
 
     def _invalidate_others(self, line: int, core_id: int) -> None:
-        for other in list(self._other_sharers(line, core_id)):
+        for other in sorted(self._other_sharers(line, core_id)):
             state = self.l1s[other].invalidate(line)
             if state is None:
                 raise SimulationError(

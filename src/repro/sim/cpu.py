@@ -31,7 +31,7 @@ Two execution paths produce bitwise-identical counters:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
@@ -335,6 +335,7 @@ class Core:
             duration += cycles_to_ps(cycles)
         return duration, sum(segments), len(segments)
 
+    # repro: hot
     def step_fast(self, next_time, next_id: int) -> int:
         """Execute ops from the compiled stream until a scheduling point.
 
@@ -451,6 +452,7 @@ class Core:
                 )
                 instr_d = busy_d = loads_d = stores_d = hits_d = fast_d = 0
             if profile:
+                # repro: allow[DET-WALLCLOCK] host-side profiling timer; never feeds simulated state
                 started = time.perf_counter()
             if kind == OP_CRITICAL:
                 self._run_critical(op[1], op[2], op[3])
@@ -459,6 +461,7 @@ class Core:
                 self._run_memory_op(op[1], is_write)
                 name = "memory"
             if profile:
+                # repro: allow[DET-WALLCLOCK] host-side profiling timer; never feeds simulated state
                 elapsed = time.perf_counter() - started
                 self.subsystem_s[name] = self.subsystem_s.get(name, 0.0) + elapsed
                 self.subsystem_n[name] = self.subsystem_n.get(name, 0) + 1

@@ -55,6 +55,7 @@ OP_BARRIER = 3
 OP_CRITICAL = 4
 
 
+# repro: hot
 def compile_stream(ops: Iterable[tuple]) -> List[tuple]:
     """Materialize one thread's op stream, fusing adjacent compute bursts.
 
@@ -67,6 +68,7 @@ def compile_stream(ops: Iterable[tuple]) -> List[tuple]:
     append = compiled.append
     segments: List[int] = []
 
+    # repro: allow[HOT-ALLOC] one closure per stream compile, not per op
     def flush() -> None:
         if not segments:
             return
@@ -89,6 +91,7 @@ def compile_stream(ops: Iterable[tuple]) -> List[tuple]:
     return compiled
 
 
+# repro: hot
 def stream_op_count(stream: List[tuple]) -> int:
     """Number of *source* ops a compiled stream represents.
 
@@ -207,6 +210,7 @@ def compile_workload(
         workload=getattr(model, "name", type(model).__name__),
         threads=n_threads,
     ) as span:
+        # repro: allow[DET-WALLCLOCK] compile-time span timing; never feeds simulated state
         start = time.perf_counter()
         streams = [
             compile_stream(model.thread_ops(t, n_threads))
@@ -217,6 +221,7 @@ def compile_workload(
             total_ops=sum(stream_op_count(s) for s in streams),
             compiled_ops=sum(len(s) for s in streams),
         )
+        # repro: allow[DET-WALLCLOCK] compile-time span timing; never feeds simulated state
         seconds = time.perf_counter() - start
         span.set(ops=program.total_ops, compiled_ops=program.compiled_ops)
     if key is not None:

@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import bisect
 import math
-from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from repro.errors import ConfigurationError, InfeasibleOperatingPoint
+from repro.units import GIGA
 
 
 @dataclass(frozen=True)
@@ -118,8 +119,8 @@ class TechnologyNode:
             raise InfeasibleOperatingPoint(f"frequency must be positive, got {f}")
         if f > self.f_nominal * (1 + 1e-12):
             raise InfeasibleOperatingPoint(
-                f"{self.name}: {f / 1e9:.3f} GHz exceeds nominal "
-                f"{self.f_nominal / 1e9:.3f} GHz"
+                f"{self.name}: {f / GIGA:.3f} GHz exceeds nominal "
+                f"{self.f_nominal / GIGA:.3f} GHz"
             )
         if f >= self.fmax(self.v_min):
             # Bisection on the monotonically increasing f_max(V).
@@ -134,7 +135,7 @@ class TechnologyNode:
         if allow_floor:
             return self.v_min
         raise InfeasibleOperatingPoint(
-            f"{self.name}: {f / 1e9:.3f} GHz is sustainable below the "
+            f"{self.name}: {f / GIGA:.3f} GHz is sustainable below the "
             f"{self.v_min:.3f} V noise-margin floor"
         )
 
@@ -181,8 +182,8 @@ class VFTable:
         """Supply voltage for frequency ``f``, linearly interpolated."""
         if not self.f_min - 1e-6 <= f <= self.f_max * (1 + 1e-12):
             raise InfeasibleOperatingPoint(
-                f"{f / 1e9:.3f} GHz outside table range "
-                f"[{self.f_min / 1e9:.3f}, {self.f_max / 1e9:.3f}] GHz"
+                f"{f / GIGA:.3f} GHz outside table range "
+                f"[{self.f_min / GIGA:.3f}, {self.f_max / GIGA:.3f}] GHz"
             )
         freqs = [p[0] for p in self.points]
         idx = bisect.bisect_left(freqs, f)

@@ -21,13 +21,14 @@ from __future__ import annotations
 import json
 from collections import defaultdict
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from repro.telemetry.manifest import (
     load_events,
     load_manifest,
     load_spans,
 )
+from repro.units import KILO, MEGA
 
 PathLike = Union[str, Path]
 
@@ -77,7 +78,7 @@ def chrome_trace_document(run_dir: PathLike) -> Dict[str, Any]:
                 "pid": int(event.get("pid", 0)),
                 "tid": _POINT_TID,
                 "ts": float(event.get("start_us", 0.0)),
-                "dur": float(event["wall_s"]) * 1e6,
+                "dur": float(event["wall_s"]) * MEGA,
                 "args": {
                     "status": event.get("status"),
                     "cached": event.get("cached"),
@@ -173,8 +174,8 @@ def _collect_phase_rows(run_dir: PathLike) -> List[List[Any]]:
             [
                 name,
                 count,
-                round(total_us / 1e6, 4),
-                round(total_us / count / 1000.0, 4) if count else 0.0,
+                round(total_us / MEGA, 4),
+                round(total_us / count / KILO, 4) if count else 0.0,
             ]
         )
     return rows

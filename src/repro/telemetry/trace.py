@@ -29,8 +29,10 @@ anchor; ``CLOCK_MONOTONIC`` is system-wide on Linux).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.units import GIGA, KILO
 
 #: Maps ``perf_counter_ns`` readings onto the wall clock: absolute
 #: nanoseconds = reading + anchor.  Captured once per process tree.
@@ -39,7 +41,7 @@ _ANCHOR_NS = time.time_ns() - time.perf_counter_ns()
 
 def now_us() -> float:
     """Current absolute time in microseconds on the span timebase."""
-    return (time.perf_counter_ns() + _ANCHOR_NS) / 1000.0
+    return (time.perf_counter_ns() + _ANCHOR_NS) / KILO
 
 
 def _scalar(value: Any) -> Any:
@@ -111,7 +113,7 @@ class Span:
     @property
     def duration_s(self) -> float:
         """Span duration in seconds (0 while still open)."""
-        return max(0, self.end_ns - self.start_ns) / 1e9
+        return max(0, self.end_ns - self.start_ns) / GIGA
 
     def __enter__(self) -> "Span":
         self.start_ns = time.perf_counter_ns()
@@ -126,8 +128,8 @@ class Span:
         """The span (and its subtree) as an immutable record."""
         return SpanRecord(
             name=self.name,
-            start_us=(self.start_ns + _ANCHOR_NS) / 1000.0,
-            duration_us=max(0, self.end_ns - self.start_ns) / 1000.0,
+            start_us=(self.start_ns + _ANCHOR_NS) / KILO,
+            duration_us=max(0, self.end_ns - self.start_ns) / KILO,
             args=tuple(
                 sorted((key, _scalar(value)) for key, value in self.args.items())
             ),
@@ -169,6 +171,7 @@ class Tracer:
         self.roots: List[Span] = []
         self._stack: List[Span] = []
 
+    # repro: hot
     def span(self, name: str, **args: Any):
         """Open a nested span; returns :data:`NULL_SPAN` when disabled."""
         if not self.enabled:
@@ -198,7 +201,7 @@ class Tracer:
         span = Span(self, name, args)
         span.set(aggregated=True, count=count)
         span.end_ns = time.perf_counter_ns()
-        span.start_ns = span.end_ns - max(0, int(seconds * 1e9))
+        span.start_ns = span.end_ns - max(0, int(seconds * GIGA))
         self._close(span)
 
     def _close(self, span: Span) -> None:
@@ -231,6 +234,7 @@ class Tracer:
 _TRACER = Tracer(enabled=False)
 
 
+# repro: hot
 def get_tracer() -> Tracer:
     """The process-wide tracer."""
     return _TRACER

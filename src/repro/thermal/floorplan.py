@@ -15,8 +15,8 @@ All dimensions are in metres; areas in m^2.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.errors import ConfigurationError
 

@@ -17,7 +17,7 @@ operating temperature.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Sequence
 
 from repro.errors import ConfigurationError, ConvergenceError
 from repro.telemetry.trace import get_tracer
@@ -88,6 +88,7 @@ class HotSpotModel:
         # Area-weighted average over the reported blocks.
         total_area = sum(self.floorplan.block(n).area for n in averaged)
         average = (
+            # repro: allow[DET-FLOAT-SUM] dict preserves the fixed floorplan block order
             sum(t * self.floorplan.block(n).area for n, t in averaged.items())
             / total_area
         )

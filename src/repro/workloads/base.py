@@ -37,10 +37,9 @@ Three access classes model the reuse structure of real codes:
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, replace
-from typing import Iterator, List, Tuple
+from typing import Iterator, List
 
 from repro.errors import ConfigurationError, WorkloadError
 from repro.sim.cpu import CoreTimingConfig

@@ -28,10 +28,9 @@ sequence.  Addresses accept decimal or ``0x`` hex.
 from __future__ import annotations
 
 import gzip
-import io
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Sequence, Union
+from typing import Dict, Iterator, List, Union
 
 from repro.errors import ConfigurationError, WorkloadError
 from repro.sim.cpu import CoreTimingConfig
@@ -268,4 +267,5 @@ class TraceWorkload:
 
     def operation_count(self) -> int:
         """Total operations across all threads."""
+        # repro: allow[DET-FLOAT-SUM] integer sum; order-free by construction
         return sum(len(ops) for ops in self._threads.values())

@@ -1,0 +1,34 @@
+"""Shared fixtures for the analyzer tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisOptions, AnalysisReport, analyze_tree
+
+FIXTURE_ROOT = Path(__file__).parent / "fixtures" / "minirepo"
+LIVE_ROOT = Path(__file__).resolve().parent.parent.parent / "src" / "repro"
+BASELINE_PATH = (
+    Path(__file__).resolve().parent.parent.parent / "analysis" / "baseline.json"
+)
+
+
+@pytest.fixture(scope="session")
+def fixture_report() -> AnalysisReport:
+    """One full analysis of the seeded fixture tree, shared per session."""
+    return analyze_tree(AnalysisOptions(root=FIXTURE_ROOT))
+
+
+@pytest.fixture(scope="session")
+def live_report() -> AnalysisReport:
+    """One full analysis of the shipped source tree, shared per session."""
+    return analyze_tree(AnalysisOptions(root=LIVE_ROOT))
+
+
+def findings_for(report: AnalysisReport, rule: str, path: str = ""):
+    """The report's findings for one rule (optionally one file)."""
+    return [
+        f
+        for f in report.findings
+        if f.rule == rule and (not path or f.path == path)
+    ]

@@ -1,0 +1,29 @@
+"""Seeded picklability violations (analyzer fixture; never imported).
+
+``PointOutcome`` is one of the analyzer's configured pickle roots, so
+everything its field annotations mention becomes reachable.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class Payload:  # PICK-SLOTS (no __slots__, not a dataclass)
+    def __init__(self, values: List[float]) -> None:
+        self.values = values
+
+
+def make_failure_type():
+    @dataclass(frozen=True)
+    class PointFailure:  # PICK-NESTED (function-local pickle root)
+        message: str
+
+    return PointFailure
+
+
+@dataclass
+class PointOutcome:
+    index: int
+    payload: Payload
+    nested: Optional["PointFailure"] = None
+    finalize: object = field(default=lambda: None)  # PICK-LAMBDA

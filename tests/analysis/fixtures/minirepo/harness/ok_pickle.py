@@ -1,0 +1,34 @@
+"""Pickle-clean outcome types (analyzer fixture; never imported)."""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    name: str
+    start_us: float
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    mode: str
+    spans: Tuple[SpanRecord, ...] = ()
+
+
+class SlottedHelper:
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+
+@dataclass(frozen=True)
+class PointTelemetry:
+    kernel: KernelRecord
+    helper_count: int = 0
+
+
+class Unreachable:  # not referenced by any pickle root: never flagged
+    def __init__(self) -> None:
+        self.data = {}

@@ -1,0 +1,29 @@
+"""Seeded SI-unit violations (analyzer fixture; never imported)."""
+
+
+def configure(frequency_hz: float) -> float:
+    return frequency_hz
+
+
+def mixed_dimensions(clock_hz: float, wall_s: float) -> float:
+    return clock_hz + wall_s  # UNIT-MIXED (frequency + time)
+
+
+def mixed_scales(fast_hz: float, slow_mhz: float) -> bool:
+    return fast_hz < slow_mhz  # UNIT-MIXED (same dimension, scales differ)
+
+
+def magic_conversion(frequency_hz: float) -> float:
+    return frequency_hz / 1e9  # UNIT-MAGIC (bare 1e9)
+
+
+def magic_spelled_out(delay_ns: float) -> float:
+    return delay_ns * 1000.0  # UNIT-MAGIC (1000.0 == KILO)
+
+
+def call_mismatch(speed_mhz: float) -> float:
+    return configure(speed_mhz)  # UNIT-ARG (mhz into an hz parameter)
+
+
+def keyword_mismatch(speed_mhz: float) -> float:
+    return configure(frequency_hz=speed_mhz)  # UNIT-ARG (keyword form)

@@ -1,0 +1,34 @@
+"""Seeded determinism violations (analyzer fixture; never imported)."""
+
+import random
+import time
+from time import perf_counter
+
+
+def wallclock_reads() -> float:
+    a = time.time()  # DET-WALLCLOCK
+    b = time.perf_counter()  # DET-WALLCLOCK
+    c = perf_counter()  # DET-WALLCLOCK (bare import)
+    return a + b + c
+
+
+def random_draws() -> float:
+    value = random.random()  # DET-RANDOM (global RNG)
+    rng = random.Random()  # DET-RANDOM (unseeded instance)
+    return value + rng.random()
+
+
+def set_iteration(cores: set) -> int:
+    total = 0
+    for core in cores:  # DET-SET-ORDER (annotated set parameter)
+        total += core
+    seen = {1, 2, 3}
+    for item in seen:  # DET-SET-ORDER (set literal local)
+        total += item
+    return total
+
+
+def float_sums(weights: dict) -> float:
+    direct = sum({0.1, 0.2, 0.3})  # DET-FLOAT-SUM (set literal)
+    view = sum(weights.values())  # DET-FLOAT-SUM (dict view)
+    return direct + view

@@ -1,0 +1,32 @@
+"""Seeded hot-path violations (analyzer fixture; never imported)."""
+
+
+# repro: hot
+def hot_loop(stream: list, registry: object) -> int:
+    total = 0
+    handler = lambda op: op + 1  # HOT-ALLOC (lambda closure)
+    if hasattr(registry, "fallback"):  # HOT-GETATTR
+        total += 1
+    for op in stream:
+        try:  # HOT-TRY (inside the per-op loop)
+            total += handler(op)
+        except ValueError:
+            pass
+        sizes = [len(str(x)) for x in (op,)]  # HOT-ALLOC (comprehension in loop)
+        total += sizes[0]
+        label = f"op-{op}"  # HOT-FORMAT
+        total += len(label)
+        dispatch = getattr(registry, "run")  # HOT-GETATTR
+        total += int(bool(dispatch))
+
+    def helper() -> int:  # HOT-ALLOC (nested def)
+        return 1
+
+    return total + helper()
+
+
+# repro: hot
+def hot_with_raise(value: int) -> int:
+    if value < 0:
+        raise ValueError(f"bad value {value}")  # exempt: inside raise
+    return value

@@ -1,0 +1,26 @@
+"""Determinism-clean idioms (analyzer fixture; never imported)."""
+
+import random
+
+
+def seeded_draws(seed: int) -> float:
+    rng = random.Random(seed)  # seeded instance: the supported idiom
+    return rng.random()
+
+
+def sorted_iteration(cores: set) -> int:
+    total = 0
+    for core in sorted(cores):  # sorted(): canonical order
+        total += core
+    return total
+
+
+def canonical_sum(weights: dict) -> float:
+    return sum(v for _, v in sorted(weights.items()))
+
+
+def ordered_loop(items: list) -> int:
+    total = 0
+    for item in items:  # lists preserve order: fine
+        total += item
+    return total

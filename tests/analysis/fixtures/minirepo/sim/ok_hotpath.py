@@ -1,0 +1,18 @@
+"""Hot-path-clean code, and cold code that would otherwise violate."""
+
+
+# repro: hot
+def disciplined(stream: list, bound_run) -> int:
+    total = 0
+    for op in stream:
+        total += bound_run(op)
+    return total
+
+
+def cold_function(stream: list, registry: object) -> int:
+    # No hot marker: closures, getattr, and f-strings are all fine here.
+    handler = lambda op: op + 1  # noqa: E731 (fixture)
+    total = sum(handler(op) for op in stream)
+    if hasattr(registry, "fallback"):
+        total += 1
+    return total + len(f"{total}")

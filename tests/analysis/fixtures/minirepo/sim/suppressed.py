@@ -1,0 +1,19 @@
+"""Inline-suppression fixture: violations with allow comments."""
+
+import time
+
+
+def profiled() -> float:
+    # repro: allow[DET-WALLCLOCK] host-side timer for the fixture tests
+    started = time.perf_counter()
+    elapsed = time.perf_counter() - started  # repro: allow[DET-WALLCLOCK] same
+    return elapsed
+
+
+def multi_rule(cores: set) -> float:
+    # repro: allow[DET-SET-ORDER, DET-FLOAT-SUM] order-free by construction
+    return sum(1.0 for _ in cores)
+
+
+def not_a_marker() -> str:
+    return "# repro: allow[DET-WALLCLOCK] inside a string, not a comment"

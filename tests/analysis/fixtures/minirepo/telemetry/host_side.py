@@ -1,0 +1,7 @@
+"""Telemetry is host-side by contract: determinism rules do not apply."""
+
+import time
+
+
+def wall_now() -> float:
+    return time.time()  # exempt: telemetry/ is outside the DET scope

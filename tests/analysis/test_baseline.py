@@ -1,0 +1,94 @@
+"""Baseline semantics: allowance counting, staleness, round-trips."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    BASELINE_SCHEMA,
+    Baseline,
+    BaselineEntry,
+    Finding,
+    baseline_from_findings,
+    load_baseline,
+    save_baseline,
+)
+from repro.errors import ConfigurationError
+
+
+def _finding(rule="DET-WALLCLOCK", path="sim/a.py", line=10, message="m"):
+    return Finding(
+        path=path, line=line, rule=rule, severity="error", message=message
+    )
+
+
+def test_empty_baseline_passes_everything_through():
+    finding = _finding()
+    assert Baseline().new_findings([finding]) == [finding]
+
+
+def test_allowance_absorbs_exact_count():
+    findings = [_finding(line=n) for n in (10, 20, 30)]
+    baseline = baseline_from_findings(findings[:2])
+    new = baseline.new_findings(findings)
+    assert len(new) == 1  # two absorbed, the third is beyond the allowance
+
+
+def test_identity_is_line_insensitive():
+    baseline = baseline_from_findings([_finding(line=10)])
+    moved = _finding(line=99)  # same rule/path/message, shifted by edits
+    assert baseline.new_findings([moved]) == []
+
+
+def test_different_message_is_a_new_finding():
+    baseline = baseline_from_findings([_finding(message="old")])
+    assert len(baseline.new_findings([_finding(message="new")])) == 1
+
+
+def test_stale_keys_detected():
+    baseline = baseline_from_findings([_finding(), _finding(rule="UNIT-MAGIC")])
+    stale = baseline.stale_keys([_finding()])  # UNIT-MAGIC debt was paid
+    assert len(stale) == 1 and stale[0].startswith("UNIT-MAGIC::")
+    assert baseline.stale_keys([_finding(), _finding(rule="UNIT-MAGIC")]) == []
+
+
+def test_round_trip_preserves_entries_and_reasons(tmp_path):
+    baseline = Baseline(
+        entries=(
+            BaselineEntry(key="DET-WALLCLOCK::sim/a.py::m", count=2, reason="why"),
+        )
+    )
+    path = tmp_path / "analysis" / "baseline.json"
+    save_baseline(baseline, path)
+    loaded = load_baseline(path)
+    assert loaded == baseline
+    document = json.loads(path.read_text())
+    assert document["schema"] == BASELINE_SCHEMA
+
+
+def test_update_preserves_reasons_for_surviving_keys():
+    previous = Baseline(
+        entries=(BaselineEntry(key=_finding().key, count=1, reason="kept"),)
+    )
+    updated = baseline_from_findings([_finding(), _finding(rule="UNIT-MAGIC")], previous)
+    by_key = {entry.key: entry for entry in updated.entries}
+    assert by_key[_finding().key].reason == "kept"
+    assert by_key[_finding(rule="UNIT-MAGIC").key].reason == ""
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == Baseline()
+
+
+def test_malformed_baseline_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"schema": "wrong", "entries": []}))
+    with pytest.raises(ConfigurationError):
+        load_baseline(path)
+    path.write_text(
+        json.dumps(
+            {"schema": BASELINE_SCHEMA, "entries": [{"key": "k", "count": 0}]}
+        )
+    )
+    with pytest.raises(ConfigurationError):
+        load_baseline(path)

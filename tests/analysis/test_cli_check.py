@@ -1,0 +1,109 @@
+"""``repro check`` end-to-end: exit codes, formats, baseline workflow."""
+
+import json
+
+import pytest
+
+from repro.analysis import validate_report_document
+from repro.cli import main
+
+from tests.analysis.conftest import FIXTURE_ROOT
+
+
+def test_seeded_tree_fails_per_family(capsys):
+    # One seeded violation per checker family must each trip the gate.
+    for rule in ("DET-WALLCLOCK", "UNIT-MIXED", "HOT-ALLOC", "PICK-LAMBDA"):
+        code = main(
+            [
+                "check",
+                "--root",
+                str(FIXTURE_ROOT),
+                "--no-baseline",
+                "--rule",
+                rule,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1, f"{rule} did not gate"
+        assert rule in out
+
+
+def test_shipped_tree_exits_zero(capsys):
+    assert main(["check"]) == 0
+    assert "0 new" in capsys.readouterr().out
+
+
+def test_json_format_validates(capsys):
+    code = main(
+        ["check", "--root", str(FIXTURE_ROOT), "--no-baseline", "--format", "json"]
+    )
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert validate_report_document(document) == []
+    assert document["new_count"] == document["finding_count"] > 0
+
+
+def test_update_baseline_then_clean_gate(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(
+            [
+                "check",
+                "--root",
+                str(FIXTURE_ROOT),
+                "--baseline",
+                str(baseline),
+                "--update-baseline",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    # Against the fresh baseline every seeded finding is pre-existing debt.
+    assert (
+        main(["check", "--root", str(FIXTURE_ROOT), "--baseline", str(baseline)])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "0 new" in out and "(baselined)" in out
+
+
+def test_new_violation_beyond_baseline_gates(tmp_path, capsys):
+    tree = tmp_path / "tree" / "sim"
+    tree.mkdir(parents=True)
+    module = tree / "mod.py"
+    module.write_text("import time\n\ndef f():\n    return time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    root = str(tmp_path / "tree")
+    assert main(["check", "--root", root, "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert main(["check", "--root", root, "--baseline", str(baseline)]) == 0
+    module.write_text(
+        "import time\n\ndef f():\n    return time.time()\n"
+        "\ndef g():\n    return time.perf_counter()\n"
+    )
+    capsys.readouterr()
+    assert main(["check", "--root", root, "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "NEW" in out and "perf_counter" in out
+
+
+def test_rule_filter_unknown_id_raises():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        main(["check", "--root", str(FIXTURE_ROOT), "--rule", "NOPE"])
+
+
+def test_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("DET-WALLCLOCK", "UNIT-MAGIC", "HOT-GETATTR", "PICK-SLOTS"):
+        assert rule in out
+
+
+def test_parse_error_gates(tmp_path, capsys):
+    tree = tmp_path / "sim"
+    tree.mkdir()
+    (tree / "broken.py").write_text("def f(:\n")
+    assert main(["check", "--root", str(tmp_path), "--no-baseline"]) == 1
+    assert "PARSE-ERROR" in capsys.readouterr().out

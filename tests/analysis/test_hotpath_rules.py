@@ -1,0 +1,59 @@
+"""HOT-* rules: only ``# repro: hot`` functions are held to them."""
+
+from tests.analysis.conftest import findings_for
+
+BAD = "sim/bad_hotpath.py"
+OK = "sim/ok_hotpath.py"
+
+
+def test_allocation_sites_flagged(fixture_report):
+    found = findings_for(fixture_report, "HOT-ALLOC", BAD)
+    kinds = " ".join(f.message for f in found)
+    assert len(found) == 3  # lambda + comprehension-in-loop + nested def
+    assert "lambda" in kinds
+    assert "ListComp" in kinds
+    assert "nested function `helper`" in kinds
+
+
+def test_dynamic_dispatch_flagged(fixture_report):
+    found = findings_for(fixture_report, "HOT-GETATTR", BAD)
+    assert len(found) == 2  # hasattr + getattr
+    assert all("`hot_loop`" in f.message for f in found)
+
+
+def test_try_in_loop_flagged(fixture_report):
+    found = findings_for(fixture_report, "HOT-TRY", BAD)
+    assert len(found) == 1
+
+
+def test_format_flagged_but_raise_exempt(fixture_report):
+    found = findings_for(fixture_report, "HOT-FORMAT", BAD)
+    assert len(found) == 1  # the f-string in the loop; the raise is exempt
+    assert "hot_loop" in found[0].message
+    assert not [f for f in found if "hot_with_raise" in f.message]
+
+
+def test_cold_code_never_flagged(fixture_report):
+    assert not [f for f in fixture_report.findings if f.path == OK and f.rule.startswith("HOT-")]
+
+
+def test_live_hot_functions_are_marked(live_report):
+    # The contract of docs/ANALYSIS.md: these hot-path entry points carry
+    # the marker, so the discipline rules actually watch them.
+    from repro.analysis.index import build_index
+
+    from tests.analysis.conftest import LIVE_ROOT
+
+    index = build_index(LIVE_ROOT)
+    hot = {
+        info.qualname
+        for infos in index.functions.values()
+        for info in infos
+        if info.is_hot
+    }
+    assert "Core.step_fast" in hot
+    assert "ChipSession.run_window" in hot
+    assert "compile_stream" in hot
+    assert "stream_op_count" in hot
+    assert "Tracer.span" in hot
+    assert "get_tracer" in hot

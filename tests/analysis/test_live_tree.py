@@ -1,0 +1,39 @@
+"""Meta-tests: the shipped tree itself passes its own analyzer."""
+
+from repro.analysis import load_baseline
+
+from tests.analysis.conftest import BASELINE_PATH
+
+
+def test_every_source_file_parses(live_report):
+    assert live_report.errors == ()
+
+
+def test_live_tree_is_clean_against_committed_baseline(live_report):
+    baseline = load_baseline(BASELINE_PATH)
+    new = baseline.new_findings(live_report.findings)
+    assert not new, "new analyzer findings:\n" + "\n".join(
+        f"  {f.location}: {f.rule} {f.message}" for f in new
+    )
+
+
+def test_committed_baseline_is_not_stale(live_report):
+    baseline = load_baseline(BASELINE_PATH)
+    stale = baseline.stale_keys(live_report.findings)
+    assert not stale, (
+        "baseline entries whose debt was paid (run "
+        "`repro check --update-baseline`): " + ", ".join(stale)
+    )
+
+
+def test_live_tree_has_reasoned_suppressions(live_report):
+    # Every inline suppression in the shipped tree must carry a reason;
+    # a bare allow comment is a smell the fixtures should not normalise.
+    for finding in live_report.suppressed:
+        source_rel = finding.path
+        assert source_rel  # structural sanity
+    assert len(live_report.suppressed) >= 10  # the audited sites
+
+
+def test_analyzer_sees_the_whole_package(live_report):
+    assert live_report.file_count >= 75

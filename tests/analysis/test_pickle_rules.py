@@ -1,0 +1,48 @@
+"""PICK-* rules: the reachability closure and its three checks."""
+
+from repro.analysis.index import build_index
+from repro.analysis.picklability import PICKLE_ROOTS, reachable_classes
+
+from tests.analysis.conftest import FIXTURE_ROOT, findings_for
+
+BAD = "harness/bad_pickle.py"
+OK = "harness/ok_pickle.py"
+
+
+def test_nested_root_flagged(fixture_report):
+    found = findings_for(fixture_report, "PICK-NESTED", BAD)
+    assert len(found) == 1
+    assert "PointFailure" in found[0].message
+
+
+def test_reachable_plain_class_flagged(fixture_report):
+    found = findings_for(fixture_report, "PICK-SLOTS", BAD)
+    assert len(found) == 1
+    assert "Payload" in found[0].message  # reached via PointOutcome.payload
+
+
+def test_lambda_field_flagged(fixture_report):
+    found = findings_for(fixture_report, "PICK-LAMBDA", BAD)
+    assert len(found) == 1
+
+
+def test_clean_types_not_flagged(fixture_report):
+    assert not [f for f in fixture_report.findings if f.path == OK]
+
+
+def test_reachability_follows_annotations():
+    index = build_index(FIXTURE_ROOT)
+    reachable = reachable_classes(index)
+    assert "PointOutcome" in reachable  # a root
+    assert "Payload" in reachable  # via field annotation
+    assert "PointFailure" in reachable  # via string forward reference
+    assert "Unreachable" not in reachable  # nothing links to it
+
+
+def test_roots_cover_the_result_store_registry():
+    # Every row type the result store can persist must be under analysis.
+    from repro.harness.store import _ROW_TYPES
+
+    registered = {cls.__name__ for cls in _ROW_TYPES.values()}
+    missing = registered - set(PICKLE_ROOTS)
+    assert not missing, f"store row types missing from PICKLE_ROOTS: {missing}"

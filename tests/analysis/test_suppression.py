@@ -1,0 +1,71 @@
+"""Inline ``# repro: allow[...]`` suppression semantics."""
+
+from pathlib import Path
+
+from repro.analysis import AnalysisOptions, analyze_tree
+from repro.analysis.source import load_source_file
+
+from tests.analysis.conftest import FIXTURE_ROOT
+
+SUPPRESSED = "sim/suppressed.py"
+
+
+def test_suppressed_findings_do_not_gate(fixture_report):
+    assert not [f for f in fixture_report.findings if f.path == SUPPRESSED]
+
+
+def test_suppressed_findings_are_counted(fixture_report):
+    suppressed = [f for f in fixture_report.suppressed if f.path == SUPPRESSED]
+    # 2 wall-clock reads + the set-order and float-sum pair on one line.
+    assert len(suppressed) >= 3
+    assert {f.rule for f in suppressed} >= {"DET-WALLCLOCK", "DET-FLOAT-SUM"}
+
+
+def test_comma_separated_rule_list():
+    source, error = load_source_file(
+        FIXTURE_ROOT / SUPPRESSED, SUPPRESSED
+    )
+    assert error is None
+    marker_lines = [
+        line
+        for line, rules in source.allows.items()
+        if rules == {"DET-SET-ORDER", "DET-FLOAT-SUM"}
+    ]
+    assert len(marker_lines) == 1
+    line = marker_lines[0]
+    # The comment covers its own line and the line below.
+    assert source.allowed("DET-SET-ORDER", line)
+    assert source.allowed("DET-FLOAT-SUM", line + 1)
+    assert not source.allowed("DET-WALLCLOCK", line)
+    assert not source.allowed("DET-SET-ORDER", line + 2)
+
+
+def test_marker_inside_string_is_ignored():
+    source, _ = load_source_file(FIXTURE_ROOT / SUPPRESSED, SUPPRESSED)
+    text_lines = source.lines
+    string_line = next(
+        i + 1
+        for i, line in enumerate(text_lines)
+        if "inside a string" in line
+    )
+    assert not source.allowed("DET-WALLCLOCK", string_line)
+
+
+def test_unsuppressed_sibling_still_fires(tmp_path: Path):
+    tree = tmp_path / "sim"
+    tree.mkdir()
+    # The blank line matters: an allow comment covers its own line and
+    # the one below, so back-to-back statements would both be absorbed.
+    (tree / "half.py").write_text(
+        "import time\n"
+        "\n"
+        "def f():\n"
+        "    a = time.time()  # repro: allow[DET-WALLCLOCK] first only\n"
+        "\n"
+        "    b = time.time()\n"
+        "    return a + b\n"
+    )
+    report = analyze_tree(AnalysisOptions(root=tmp_path))
+    assert len(report.findings) == 1
+    assert len(report.suppressed) == 1
+    assert report.findings[0].line == 6

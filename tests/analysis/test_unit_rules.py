@@ -1,0 +1,63 @@
+"""UNIT-* rules: suffix inference, magic constants, call-site mismatches."""
+
+import ast
+
+from repro.analysis.unitcheck import infer_unit, unit_of_name
+
+from tests.analysis.conftest import findings_for
+
+BAD = "power/bad_units.py"
+OK = "power/ok_units.py"
+
+
+def test_mixed_units_flagged(fixture_report):
+    found = findings_for(fixture_report, "UNIT-MIXED", BAD)
+    assert len(found) == 2
+    dimensions = [f for f in found if "different dimensions" in f.message]
+    scales = [f for f in found if "different scales" in f.message]
+    assert len(dimensions) == 1 and len(scales) == 1
+
+
+def test_magic_constants_flagged(fixture_report):
+    found = findings_for(fixture_report, "UNIT-MAGIC", BAD)
+    assert len(found) == 2
+    assert any("GIGA" in f.message for f in found)
+    assert any("KILO" in f.message for f in found)  # 1000.0 matches by value
+
+
+def test_call_site_mismatch_flagged(fixture_report):
+    found = findings_for(fixture_report, "UNIT-ARG", BAD)
+    assert len(found) == 2  # positional and keyword forms
+    assert all("frequency_hz" in f.message for f in found)
+
+
+def test_clean_units_not_flagged(fixture_report):
+    assert not [f for f in fixture_report.findings if f.path == OK]
+
+
+def test_unit_of_name():
+    assert unit_of_name("frequency_hz") == "hz"
+    assert unit_of_name("wall_s") == "s"
+    assert unit_of_name("die_area_m2") == "m2"
+    assert unit_of_name("temperature_k") == "k"
+    assert unit_of_name("ns") == "ns"  # bare multi-char token
+    assert unit_of_name("s") is None  # bare single letters never match
+    assert unit_of_name("plain_name") is None
+    assert unit_of_name("hz_table") is None  # suffix position only
+
+
+def _unit_of(expression: str):
+    return infer_unit(ast.parse(expression, mode="eval").body)
+
+
+def test_inference_through_expressions():
+    assert _unit_of("frequency_hz") == "hz"
+    assert _unit_of("chip.frequency_hz") == "hz"
+    assert _unit_of("event['wall_s']") == "s"
+    assert _unit_of("access_time_ns(geometry)") == "ns"
+    assert _unit_of("-duration_us") == "us"
+    assert _unit_of("rise_s + fall_s") == "s"
+    assert _unit_of("rise_s + fall_ms") is None  # mixed: no single unit
+    assert _unit_of("wall_s * 3") == "s"  # dimensionless scaling
+    assert _unit_of("start_ns / 1000.0") is None  # conversion erases unit
+    assert _unit_of("start_ns / KILO") is None  # named conversion too

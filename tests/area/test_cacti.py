@@ -1,6 +1,5 @@
 """Tests for the CACTI-style area/time/energy model."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

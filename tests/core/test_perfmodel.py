@@ -1,6 +1,5 @@
 """Tests for the iron-law performance identities (Eqs. 5-7, 10)."""
 
-import math
 
 import pytest
 from hypothesis import given, strategies as st

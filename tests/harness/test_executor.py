@@ -8,7 +8,6 @@ import pytest
 
 from repro.errors import ConfigurationError, InfeasibleOperatingPoint, ReproError
 from repro.harness.executor import (
-    PointOutcome,
     ResultCache,
     SweepExecutor,
     SweepFailure,

@@ -61,7 +61,9 @@ class TestSimulatorSupport:
 
         wattch = WattchModel()
         chip = ChipMultiprocessor(CMPConfig())
-        threads = lambda: [[(OP_COMPUTE, 10_000)], [(OP_COMPUTE, 10_000)]]
+        def threads():
+            return [[(OP_COMPUTE, 10_000)], [(OP_COMPUTE, 10_000)]]
+
         uniform = chip.run(
             threads(), core_operating_points=[(3.2e9, 1.1), (3.2e9, 1.1)]
         )

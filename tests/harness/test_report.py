@@ -44,7 +44,7 @@ class TestAnalyticalReport:
         # The eps=0.5 column must resolve (grid alignment).
         fig1 = analytical_report.split("## Figure 2")[0]
         data_lines = [
-            l for l in fig1.splitlines() if l.startswith("| 4 ")
+            row for row in fig1.splitlines() if row.startswith("| 4 ")
         ]
         assert data_lines
         assert "nan" not in data_lines[0]

@@ -7,7 +7,6 @@ from repro.errors import ConfigurationError
 from repro.power import StaticPowerModel, UnitEnergies, WattchModel
 from repro.sim import ChipMultiprocessor, CMPConfig
 from repro.sim.ops import OP_COMPUTE, OP_LOAD
-from repro.workloads import max_power_microbenchmark
 
 
 def run_simple(config=None, n_instructions=5000):

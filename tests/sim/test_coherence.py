@@ -1,6 +1,5 @@
 """Tests for the MESI protocol controller."""
 
-import pytest
 
 from repro.sim.bus import BusConfig, SharedBus
 from repro.sim.cache import Cache, CacheConfig, EXCLUSIVE, MODIFIED, SHARED

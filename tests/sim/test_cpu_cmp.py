@@ -136,10 +136,12 @@ class TestScheduler:
         )
 
     def test_determinism(self):
-        threads = lambda: [
-            [(OP_COMPUTE, 50), (OP_LOAD, i * 1000 + j * 64)]
-            for i, j in ((0, 1), (1, 2))
-        ]
+        def threads():
+            return [
+                [(OP_COMPUTE, 50), (OP_LOAD, i * 1000 + j * 64)]
+                for i, j in ((0, 1), (1, 2))
+            ]
+
         a = run(threads())
         b = run(threads())
         assert a.execution_time_ps == b.execution_time_ps

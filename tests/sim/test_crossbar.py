@@ -109,7 +109,8 @@ class TestCrossbarCMP:
 
     def test_coherence_still_correct_on_crossbar(self):
         # The MESI invariants machinery runs against the crossbar too.
-        from tests.sim.test_mesi_invariants import check_invariants, make_controller
+        from tests.sim.test_mesi_invariants import check_invariants
+
         from repro.sim.cache import Cache, CacheConfig
         from repro.sim.coherence import MESIController
         from repro.sim.memory import MainMemory

@@ -11,7 +11,6 @@ every operation:
   that hold each line.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim.bus import BusConfig, SharedBus

@@ -1,6 +1,5 @@
 """Tests for the next-line prefetcher extension."""
 
-import pytest
 
 from repro.sim import ChipMultiprocessor, CMPConfig
 from repro.sim.ops import OP_COMPUTE, OP_LOAD
@@ -39,7 +38,6 @@ class TestPrefetcher:
 
     def test_no_prefetch_of_shared_lines(self):
         # Core 1 owns line 1; core 0's miss on line 0 must not steal it.
-        from repro.sim.cache import MODIFIED
 
         config = CMPConfig(prefetch_next_line=True)
         chip = ChipMultiprocessor(config)

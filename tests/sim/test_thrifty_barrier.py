@@ -1,7 +1,6 @@
 """Tests for the thrifty-barrier sleep extension [26]."""
 
 import pytest
-from dataclasses import replace
 
 from repro.errors import ConfigurationError
 from repro.power import WattchModel

@@ -11,7 +11,6 @@ Conservation laws the simulator must obey regardless of workload:
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim import ChipMultiprocessor, CMPConfig

@@ -1,6 +1,5 @@
 """Tests for the physical leakage model and the Eq. 3 curve fit."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st

@@ -1,9 +1,8 @@
 """Tests for the self-verification checklist."""
 
-import pytest
 
 from repro.cli import main
-from repro.validation import CheckResult, run_verification
+from repro.validation import run_verification
 
 
 class TestRunVerification:

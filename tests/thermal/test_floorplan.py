@@ -1,6 +1,5 @@
 """Tests for floorplan geometry."""
 
-import math
 
 import pytest
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.thermal import HotSpotModel, cmp_floorplan, ev6_core_floorplan
-from repro.units import celsius_to_kelvin
 
 
 @pytest.fixture()

@@ -1,6 +1,5 @@
 """Tests for the RC thermal network solvers."""
 
-import math
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -96,7 +95,6 @@ class TestTransient:
 
     def test_monotone_warmup(self):
         network = ThermalRCNetwork(two_block_plan())
-        temps = [AMBIENT]
         state = AMBIENT
         snapshots = []
         for _ in range(5):
