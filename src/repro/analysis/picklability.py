@@ -51,11 +51,18 @@ PICKLE_ROOTS: Tuple[str, ...] = (
     "SimPointRow",
     "Figure1Row",
     "Figure2Row",
+    "FailedPointRow",
     # executor outcome channel
     "PointOutcome",
-    "PointFailure",
+    "SweepFailure",
     "SimPointTask",
     "WorkloadSpec",
+    # the task wrapper shipped to workers, and the fault plan it carries
+    "_PointCall",
+    "FaultPlan",
+    "FaultSpec",
+    # journal entries (persisted as JSONL, rebuilt as dataclasses)
+    "JournalEntry",
     # telemetry records attached to outcomes
     "KernelRecord",
     "PointTelemetry",

@@ -18,6 +18,16 @@ processes, and ``--cache DIR`` to memoize completed points on disk so a
 re-run only simulates points whose configuration changed
 (``--no-cache`` disables a configured cache for one invocation).
 
+They are also fault tolerant: ``--max-retries N`` re-attempts points
+whose failure was transient (a crashed worker, a timeout, an escaped
+exception) with exponential backoff before quarantining them,
+``--point-timeout S`` bounds each attempt's wall clock, and a cached
+sweep journals its progress so ``--resume RUN_ID`` (or ``--resume
+latest``) picks an interrupted campaign back up, replaying finished
+points from the cache and re-attempting only quarantined or missing
+ones — bitwise identical to an uninterrupted run.  See
+docs/OBSERVABILITY.md for the failure model.
+
 Every sweep accepts ``--profile`` to print executor/cache statistics
 (and, for the experimental sweeps, how the simulation kernel performed:
 ops/sec, fast-path hit ratio, per-subsystem slow-path time) and
@@ -75,6 +85,26 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
+
+
 def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -95,6 +125,45 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
         help="ignore --cache for this invocation (recompute everything)",
     )
     parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help=(
+            "resume an interrupted sweep: replay the journalled points "
+            "of RUN_ID from the cache and evaluate only the rest "
+            "(requires --cache; 'latest' picks the newest journal)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help=(
+            "re-attempt a point whose failure is transient (worker "
+            "crash, timeout, escaped exception) up to N times with "
+            "exponential backoff, then quarantine it (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--point-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-point wall-clock deadline; an attempt exceeding it is "
+            "killed and counts as a transient failure (default: none)"
+        ),
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        # Hidden: the deterministic chaos plane exists for tests and CI
+        # rehearsals, not everyday sweeps.
+        help=argparse.SUPPRESS,
+    )
+    parser.add_argument(
         "--telemetry-dir",
         default=None,
         metavar="DIR",
@@ -105,13 +174,93 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _executor_from_args(args, telemetry_run=None):
-    from repro.harness.executor import ResultCache, SweepExecutor
+def _executor_from_args(args, telemetry_run=None, command: str = "sweep"):
+    from repro.errors import ConfigurationError
+    from repro.harness.executor import ResultCache, RetryPolicy, SweepExecutor
+    from repro.harness.faults import parse_fault_plan
+    from repro.harness.journal import SweepJournal, list_run_ids
 
     cache = None
     if args.cache and not args.no_cache:
         cache = ResultCache(args.cache)
-    executor = SweepExecutor(jobs=args.jobs, cache=cache)
+
+    resume_id = getattr(args, "resume", None)
+    if resume_id is not None and cache is None:
+        print(
+            f"{command}: --resume requires --cache (the cache holds the "
+            "completed points a resumed run replays)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+    retry = None
+    if args.max_retries or args.point_timeout is not None:
+        retry = RetryPolicy(
+            max_retries=args.max_retries, point_timeout_s=args.point_timeout
+        )
+    fault_plan = None
+    if getattr(args, "inject_faults", None):
+        try:
+            fault_plan = parse_fault_plan(args.inject_faults)
+        except ConfigurationError as exc:
+            print(f"{command}: --inject-faults: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+        if retry is None:
+            # Injection without an explicit budget still gets retries —
+            # a chaos rehearsal that aborts on its first fault tests
+            # nothing.
+            retry = RetryPolicy(max_retries=2)
+
+    journal = None
+    if cache is not None:
+        try:
+            if resume_id is not None:
+                if resume_id == "latest":
+                    known = list_run_ids(cache.root)
+                    if not known:
+                        print(
+                            f"{command}: --resume latest: no journalled "
+                            f"runs under {cache.root}",
+                            file=sys.stderr,
+                        )
+                        raise SystemExit(2)
+                    resume_id = known[-1]
+                journal = SweepJournal(
+                    cache.root, resume_id, command=command, resume=True
+                )
+                done = journal.counts()
+                print(
+                    f"[journal] resuming run {journal.run_id}: "
+                    f"{done['ok']} ok, {done['failed']} failed points "
+                    "journalled",
+                    file=sys.stderr,
+                )
+                if telemetry_run is not None:
+                    telemetry_run.set_resume(
+                        journal.run_id, len(journal.completed)
+                    )
+            else:
+                run_id = telemetry_run.run_id if telemetry_run else None
+                journal = SweepJournal(cache.root, run_id, command=command)
+                print(
+                    f"[journal] run {journal.run_id} "
+                    f"(resume with --resume {journal.run_id})",
+                    file=sys.stderr,
+                )
+        except ConfigurationError as exc:
+            print(f"{command}: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+
+    if telemetry_run is not None and fault_plan is not None:
+        telemetry_run.set_fault_plan(fault_plan.describe())
+
+    executor = SweepExecutor(
+        jobs=args.jobs,
+        cache=cache,
+        retry=retry,
+        fault_plan=fault_plan,
+        journal=journal,
+    )
     executor.telemetry_run = telemetry_run
     return executor
 
@@ -151,6 +300,30 @@ def _print_executor_summary(executor, args=None) -> None:
             f"[executor] {stats.evaluated} evaluated, "
             f"{stats.cache_hits} cache hits, {stats.failures} failures"
         )
+    quarantined = getattr(stats, "quarantined", 0)
+    if quarantined:
+        # Degraded mode: the sweep completed, but some points exhausted
+        # their retry budget.  Say which, and how to pick them back up.
+        journal = getattr(executor, "journal", None)
+        hint = (
+            f"rerun with --resume {journal.run_id} to retry them"
+            if journal is not None
+            else "rerun with --cache and --resume to retry them"
+        )
+        print(f"[quarantine] {quarantined} point(s) failed after retries; {hint}")
+        for outcome in executor.failed:
+            failure = outcome.failure
+            if failure is not None and failure.retryable:
+                print(
+                    f"  point {outcome.index}: {failure.error_type}: "
+                    f"{failure.message} ({outcome.attempts} attempts)"
+                )
+
+
+def _close_journal(executor) -> None:
+    journal = getattr(executor, "journal", None)
+    if journal is not None:
+        journal.close()
 
 
 def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
@@ -332,7 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_fig1(args) -> int:
     chip = AnalyticalChipModel(technology_by_name(args.tech))
     telemetry_run = _telemetry_run_from_args(args, "fig1")
-    executor = _executor_from_args(args, telemetry_run)
+    executor = _executor_from_args(args, telemetry_run, "fig1")
     try:
         curves = figure1_sweep(chip, efficiency_points=41, executor=executor)
         rows = []
@@ -351,13 +524,14 @@ def _cmd_fig1(args) -> int:
         _print_executor_summary(executor, args)
         return 0
     finally:
+        _close_journal(executor)
         _finalize_telemetry(telemetry_run, executor)
 
 
 def _cmd_fig2(args) -> int:
     chip = AnalyticalChipModel(technology_by_name(args.tech))
     telemetry_run = _telemetry_run_from_args(args, "fig2")
-    executor = _executor_from_args(args, telemetry_run)
+    executor = _executor_from_args(args, telemetry_run, "fig2")
     try:
         curve = figure2_sweep(chip, executor=executor)
         print(
@@ -372,6 +546,7 @@ def _cmd_fig2(args) -> int:
         _print_executor_summary(executor, args)
         return 0
     finally:
+        _close_journal(executor)
         _finalize_telemetry(telemetry_run, executor)
 
 
@@ -397,7 +572,7 @@ def _cmd_fig3(args) -> int:
     telemetry_run = _telemetry_run_from_args(args, "fig3")
     context = _experimental_context(args.scale, args.profile)
     _set_context_fingerprint(telemetry_run, context)
-    executor = _executor_from_args(args, telemetry_run)
+    executor = _executor_from_args(args, telemetry_run, "fig3")
     try:
         models = [workload_by_name(app) for app in args.apps]
         results = run_scenario1(context, models, executor=executor)
@@ -425,6 +600,7 @@ def _cmd_fig3(args) -> int:
         _print_kernel_summary(context, args, executor)
         return 0
     finally:
+        _close_journal(executor)
         _finalize_telemetry(telemetry_run, executor)
 
 
@@ -435,7 +611,7 @@ def _cmd_fig4(args) -> int:
     telemetry_run = _telemetry_run_from_args(args, "fig4")
     context = _experimental_context(args.scale, args.profile)
     _set_context_fingerprint(telemetry_run, context)
-    executor = _executor_from_args(args, telemetry_run)
+    executor = _executor_from_args(args, telemetry_run, "fig4")
     try:
         models = [workload_by_name(app) for app in args.apps]
         results = run_scenario2(
@@ -457,6 +633,7 @@ def _cmd_fig4(args) -> int:
         _print_kernel_summary(context, args, executor)
         return 0
     finally:
+        _close_journal(executor)
         _finalize_telemetry(telemetry_run, executor)
 
 
@@ -469,7 +646,7 @@ def _cmd_characterize(args) -> int:
     telemetry_run = _telemetry_run_from_args(args, "characterize")
     context = _experimental_context(args.scale, args.profile)
     _set_context_fingerprint(telemetry_run, context)
-    executor = _executor_from_args(args, telemetry_run)
+    executor = _executor_from_args(args, telemetry_run, "characterize")
     try:
         # One flat fan-out over every (application, N) profiling point.
         tasks = [
@@ -506,6 +683,7 @@ def _cmd_characterize(args) -> int:
         _print_kernel_summary(context, args, executor)
         return 0
     finally:
+        _close_journal(executor)
         _finalize_telemetry(telemetry_run, executor)
 
 

@@ -38,3 +38,34 @@ class WorkloadError(ReproError):
     Some SPLASH-2 applications only run on power-of-two thread counts
     (Section 4.1); asking for e.g. 6 threads raises this.
     """
+
+
+class TransientError(ReproError):
+    """A failure that retrying the same point may resolve.
+
+    The sweep executor's retry machinery only ever re-attempts points
+    whose failure derives from this class (or escaped the library
+    entirely); deterministic physics failures like
+    :class:`InfeasibleOperatingPoint` are final on the first attempt.
+    """
+
+
+class InjectedFault(TransientError):
+    """A failure deliberately injected by the fault plane (testing only).
+
+    Raised by :mod:`repro.harness.faults` when a seeded fault plan
+    sabotages a sweep point, so fault-tolerance tests exercise the real
+    retry/quarantine/resume paths with reproducible failures.
+    """
+
+
+class WorkerCrash(TransientError):
+    """A sweep worker process died without reporting a result.
+
+    Stands in for the failures a production fleet actually sees — the
+    OOM killer, a segfault in a native extension, a pre-empted node.
+    """
+
+
+class PointTimeout(TransientError):
+    """A sweep point exceeded its per-point deadline and was killed."""

@@ -32,6 +32,18 @@ The cache persists one JSON document per point, the same
 schema-tagged layout as :mod:`repro.harness.store` uses for whole
 campaigns; values must be flat (possibly nested) dataclasses of
 JSON-representable leaves, which all the harness row types are.
+
+On top of that sits the **fault-tolerance layer** (engaged only when a
+:class:`RetryPolicy` with retries/deadline or a
+:class:`~repro.harness.faults.FaultPlan` is configured): transient
+failures — worker crashes, per-point deadline kills, injected faults,
+exceptions escaping the library — are retried with deterministic
+exponential backoff and finally *quarantined* as typed ``retryable``
+failures, so a sweep completes with partial results instead of
+aborting.  Retryable failures are never memoized; paired with the
+:class:`~repro.harness.journal.SweepJournal` write-ahead log this gives
+``--resume``: a re-run replays finished points from the cache bitwise
+and re-attempts only the unfinished or crashed ones.
 """
 
 from __future__ import annotations
@@ -40,14 +52,19 @@ import dataclasses
 import hashlib
 import importlib
 import json
+import multiprocessing
 import os
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
-from typing import Any, Callable, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, TransientError
+from repro.harness.faults import FaultPlan, inject_fault
+from repro.harness.journal import JournalEntry, SweepJournal
 from repro.harness.schema import SCHEMA_VERSION
 from repro.telemetry.record import (
     PointTelemetry,
@@ -193,10 +210,18 @@ def config_key(config: Any, schema_version: Optional[int] = None) -> str:
 
 @dataclass(frozen=True)
 class SweepFailure:
-    """A typed per-point failure (the campaign itself carries on)."""
+    """A typed per-point failure (the campaign itself carries on).
+
+    ``retryable`` marks failures a re-attempt may resolve — worker
+    crashes, deadline kills, injected faults, and (under a retry
+    policy) escaped non-library exceptions.  Retryable failures are
+    never persisted to the result cache, so a resumed run re-attempts
+    them instead of replaying the failure.
+    """
 
     error_type: str
     message: str
+    retryable: bool = False
 
     def to_exception(self) -> ReproError:
         """Rebuild the original library exception (best effort)."""
@@ -209,6 +234,51 @@ class SweepFailure:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the executor fights for each sweep point.
+
+    The default policy — zero retries, no deadline — reproduces the
+    historical all-or-nothing semantics exactly.  With ``max_retries``
+    set, a point whose failure is *transient* (worker crash, deadline
+    kill, injected fault, or any exception that escapes the library) is
+    re-attempted up to ``max_retries`` times with exponential backoff;
+    a point still failing after its last attempt is *quarantined*: its
+    typed failure is recorded, the sweep completes with partial
+    results.  Deterministic library failures (e.g. an infeasible
+    operating point) are never retried — the physics will not change.
+
+    ``point_timeout_s`` puts a wall-clock deadline on every attempt;
+    enforcing it requires worker processes, so the executor runs its
+    process lane (even at ``jobs=1``) whenever a deadline is set.
+    """
+
+    max_retries: int = 0
+    point_timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.point_timeout_s is not None and self.point_timeout_s <= 0:
+            raise ConfigurationError("point_timeout_s must be positive")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Deterministic delay before re-attempting after 0-based
+        ``attempt`` failed (no jitter: reproducibility beats thundering-
+        herd smoothing at this fleet size)."""
+        return min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor**attempt,
+        )
+
+
+@dataclass(frozen=True)
 class PointOutcome:
     """One sweep point's result: its value or its typed failure."""
 
@@ -217,6 +287,9 @@ class PointOutcome:
     value: Any
     failure: Optional[SweepFailure] = None
     cached: bool = False
+    #: Evaluation attempts this outcome took (1 = first try; cached
+    #: replays report 1).
+    attempts: int = 1
     #: What the evaluation reported about itself: evaluating pid, wall
     #: time, per-run kernel stats, span trees.  For cached outcomes this
     #: is the *original* evaluation's telemetry, replayed from the cache.
@@ -334,6 +407,7 @@ class ResultCache:
                     failure=SweepFailure(
                         error_type=str(error["type"]),
                         message=str(error["message"]),
+                        retryable=bool(error.get("retryable", False)),
                     ),
                     telemetry=telemetry,
                 )
@@ -363,6 +437,7 @@ class ResultCache:
             document["error"] = {
                 "type": outcome.failure.error_type,
                 "message": outcome.failure.message,
+                "retryable": outcome.failure.retryable,
             }
         if outcome.telemetry is not None:
             # Spans are stripped: replaying stale span timestamps into a
@@ -404,6 +479,8 @@ class ExecutorStats:
     cache_hits: int = 0
     failures: int = 0
     uncacheable: int = 0
+    retries: int = 0
+    quarantined: int = 0
 
     def summary(self) -> str:
         """One human-readable line (printed under ``--profile``)."""
@@ -411,6 +488,10 @@ class ExecutorStats:
             f"[executor] {self.evaluated} evaluated, "
             f"{self.cache_hits} cache hits, {self.failures} failures"
         )
+        if self.retries:
+            line += f", {self.retries} retries"
+        if self.quarantined:
+            line += f", {self.quarantined} quarantined"
         if self.uncacheable:
             line += f", {self.uncacheable} uncacheable"
         return line
@@ -426,18 +507,36 @@ class _PointCall:
     :class:`~repro.telemetry.record.PointTelemetry` — the outcome
     channel that makes worker- and cache-side profiling visible to the
     coordinator.
+
+    The resilient lanes construct it with a fault plan (injected at the
+    top of every attempt, inside the capture window) and with
+    ``capture_bugs=True`` so escaped non-library exceptions come back
+    as retryable ``("raised", ...)`` statuses instead of killing the
+    campaign; the default lanes keep the historical propagate-on-bug
+    semantics.
     """
 
     fn: Callable[[Any], Any]
+    fault_plan: Optional[FaultPlan] = None
+    capture_bugs: bool = False
 
-    def __call__(self, point: Any):
+    def __call__(self, point: Any, index: Optional[int] = None, attempt: int = 0):
         begin_point_capture()
         start_us = now_us()
         start = time.perf_counter()
         try:
+            if self.fault_plan is not None and index is not None:
+                inject_fault(self.fault_plan, index, attempt)
             status = ("ok", self.fn(point))
+        except TransientError as exc:
+            status = ("transient", type(exc).__name__, str(exc))
         except ReproError as exc:
             status = ("error", type(exc).__name__, str(exc))
+        except Exception as exc:
+            if not self.capture_bugs:
+                end_point_capture()
+                raise
+            status = ("raised", type(exc).__name__, str(exc))
         wall_s = time.perf_counter() - start
         telemetry = PointTelemetry(
             pid=os.getpid(),
@@ -447,6 +546,35 @@ class _PointCall:
             spans=tuple(get_tracer().drain_records()),
         )
         return status + (telemetry,)
+
+
+def _farm_worker(conn, call: _PointCall, point: Any, index: int, attempt: int) -> None:
+    """Child-process entry of the fault-tolerant farm: one attempt.
+
+    Sends the :class:`_PointCall` status tuple back over the pipe; a
+    worker that dies before sending (a ``kill`` fault, the OOM killer)
+    is detected by the coordinator as an EOF plus a nonzero exit code.
+    """
+    try:
+        payload = call(point, index, attempt)
+    except BaseException as exc:  # pragma: no cover - _PointCall captures
+        payload = ("raised", type(exc).__name__, str(exc), None)
+    try:
+        conn.send(payload)
+    finally:
+        conn.close()
+
+
+def _kill_process(process) -> None:
+    """Terminate a worker hard: SIGTERM, brief grace, then SIGKILL."""
+    try:
+        process.terminate()
+        process.join(0.5)
+        if process.is_alive():
+            process.kill()
+            process.join(0.5)
+    except (OSError, ValueError, AttributeError):
+        pass
 
 
 class SweepExecutor:
@@ -472,6 +600,9 @@ class SweepExecutor:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         chunksize: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        journal: Optional[SweepJournal] = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
@@ -480,13 +611,36 @@ class SweepExecutor:
         self.jobs = jobs
         self.cache = cache
         self.chunksize = chunksize
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.fault_plan = fault_plan
+        #: Optional :class:`~repro.harness.journal.SweepJournal`; when
+        #: set, every completed point (cached or evaluated) is appended
+        #: to it — the write-ahead log behind ``--resume``.
+        self.journal = journal
         self.stats = ExecutorStats()
+        #: Failed points accumulated across ``map`` calls, for degraded-
+        #: mode reporting (the CLI quarantine summary, ``repro report``).
+        self.failed: List[PointOutcome] = []
         #: Optional :class:`~repro.telemetry.manifest.TelemetryRun`; when
         #: set, every outcome is logged to its events/spans JSONL files.
         self.telemetry_run = None
         #: Per-point telemetry awaiting :meth:`fold_telemetry_into`
         #: (``(telemetry, cached)`` pairs, accumulated across ``map`` calls).
         self._telemetry_log: List[Tuple[PointTelemetry, bool]] = []
+
+    @property
+    def resilient(self) -> bool:
+        """Whether the fault-tolerant machinery is engaged.
+
+        True when any of a retry budget, a per-point deadline, or a
+        fault plan is configured; the default executor keeps the
+        historical lanes (and semantics) exactly.
+        """
+        return (
+            self.fault_plan is not None
+            or self.retry.max_retries > 0
+            or self.retry.point_timeout_s is not None
+        )
 
     def map(
         self,
@@ -539,18 +693,14 @@ class SweepExecutor:
             pending.append(index)
 
         if pending:
-            call = _PointCall(fn)
-            todo = [point_list[i] for i in pending]
-            if self.jobs == 1 or len(pending) == 1:
-                raw = [call(point) for point in todo]
+            if self.resilient:
+                raw = self._run_resilient(fn, pending, point_list)
             else:
-                workers = min(self.jobs, len(pending))
-                chunk = self.chunksize or max(
-                    1, len(pending) // (workers * 4)
-                )
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    raw = list(pool.map(call, todo, chunksize=chunk))
-            for index, result in zip(pending, raw):
+                raw = [
+                    (result, 1)
+                    for result in self._run_default(fn, pending, point_list)
+                ]
+            for index, (result, attempts) in zip(pending, raw):
                 self.stats.evaluated += 1
                 telemetry = result[-1]
                 if result[0] == "ok":
@@ -559,30 +709,270 @@ class SweepExecutor:
                         key=keys[index],
                         value=result[1],
                         telemetry=telemetry,
+                        attempts=attempts,
                     )
                 else:
+                    retryable = result[0] in ("transient", "raised")
                     outcome = PointOutcome(
                         index=index,
                         key=keys[index],
                         value=None,
                         failure=SweepFailure(
-                            error_type=result[1], message=result[2]
+                            error_type=result[1],
+                            message=result[2],
+                            retryable=retryable,
                         ),
                         telemetry=telemetry,
+                        attempts=attempts,
                     )
                     self.stats.failures += 1
+                    if retryable:
+                        self.stats.quarantined += 1
+                if outcome.failure is not None:
+                    self.failed.append(outcome)
                 if telemetry is not None:
                     self._telemetry_log.append((telemetry, False))
-                if use_cache:
+                if use_cache and (
+                    outcome.failure is None or not outcome.failure.retryable
+                ):
+                    # Retryable failures are deliberately not memoized:
+                    # a resumed run should re-attempt them, not replay
+                    # the crash.
                     try:
                         self.cache.put(keys[index], outcome)
                     except ConfigurationError:
                         self.stats.uncacheable += 1
                 outcomes[index] = outcome
-        if self.telemetry_run is not None:
-            for outcome in outcomes:
+        for outcome in outcomes:
+            if outcome is None:
+                continue
+            if self.journal is not None and outcome.key is not None:
+                self.journal.record(
+                    JournalEntry(
+                        key=outcome.key,
+                        status="ok" if outcome.failure is None else "failed",
+                        attempts=outcome.attempts,
+                        cached=outcome.cached,
+                        error_type=(
+                            None
+                            if outcome.failure is None
+                            else outcome.failure.error_type
+                        ),
+                        retryable=(
+                            outcome.failure is not None
+                            and outcome.failure.retryable
+                        ),
+                        wall_s=(
+                            outcome.telemetry.wall_s
+                            if outcome.telemetry is not None
+                            else 0.0
+                        ),
+                    )
+                )
+            if self.telemetry_run is not None:
                 self.telemetry_run.record_point(outcome)
         return outcomes  # type: ignore[return-value]
+
+    # -- default lanes (historical semantics, bitwise-pinned) ---------------
+
+    def _run_default(
+        self, fn: Callable[[Any], Any], pending: List[int], point_list: List[Any]
+    ) -> List[Tuple[Any, ...]]:
+        """Inline or ``pool.map`` evaluation: no retries, no deadlines.
+
+        On any interrupt or error escaping the pool (most importantly
+        ``KeyboardInterrupt``), worker processes are terminated before
+        the exception propagates — a Ctrl-C must never leak children
+        still burning CPU on a sweep the user just abandoned.
+        """
+        call = _PointCall(fn)
+        todo = [point_list[i] for i in pending]
+        if self.jobs == 1 or len(pending) == 1:
+            return [call(point) for point in todo]
+        workers = min(self.jobs, len(pending))
+        chunk = self.chunksize or max(1, len(pending) // (workers * 4))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            raw = list(pool.map(call, todo, chunksize=chunk))
+        except BaseException:
+            for process in list(getattr(pool, "_processes", {}).values()):
+                _kill_process(process)
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        pool.shutdown(wait=True)
+        return raw
+
+    # -- resilient lanes (retry / backoff / deadline / fault plan) ----------
+
+    def _run_resilient(
+        self, fn: Callable[[Any], Any], pending: List[int], point_list: List[Any]
+    ) -> List[Tuple[Tuple[Any, ...], int]]:
+        """Evaluate with retries; returns ``(status, attempts)`` per point.
+
+        Chooses between two lanes: an inline attempt loop (cheap, used
+        when nothing needs process isolation) and the process farm
+        (required for ``jobs > 1``, per-point deadlines, and fault
+        plans containing ``hang``/``kill`` faults).
+        """
+        call = _PointCall(fn, fault_plan=self.fault_plan, capture_bugs=True)
+        needs_processes = (
+            self.jobs > 1
+            or self.retry.point_timeout_s is not None
+            or (
+                self.fault_plan is not None
+                and self.fault_plan.needs_processes(len(point_list))
+            )
+        )
+        if needs_processes:
+            return self._run_farm(call, pending, point_list)
+        return self._run_inline_retries(call, pending, point_list)
+
+    def _run_inline_retries(
+        self, call: _PointCall, pending: List[int], point_list: List[Any]
+    ) -> List[Tuple[Tuple[Any, ...], int]]:
+        """Serial in-process attempts with deterministic backoff."""
+        results: List[Tuple[Tuple[Any, ...], int]] = []
+        for index in pending:
+            attempt = 0
+            while True:
+                result = call(point_list[index], index, attempt)
+                if result[0] in ("ok", "error") or attempt >= self.retry.max_retries:
+                    break
+                self.stats.retries += 1
+                delay = self.retry.backoff_s(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+                attempt += 1
+            results.append((result, attempt + 1))
+        return results
+
+    def _run_farm(
+        self, call: _PointCall, pending: List[int], point_list: List[Any]
+    ) -> List[Tuple[Tuple[Any, ...], int]]:
+        """The fault-tolerant process farm: one child per attempt.
+
+        Unlike the pool lane (which shares long-lived workers and
+        therefore cannot survive one of them dying), the farm runs each
+        attempt in its own child process connected by a pipe.  That
+        buys three properties the pool cannot offer: a worker killed
+        mid-point (OOM, segfault, ``kill`` fault) is detected as an EOF
+        and retried; a point exceeding ``point_timeout_s`` is
+        terminated without poisoning anyone else; and a
+        ``KeyboardInterrupt`` tears every child down before
+        propagating.  Results are deterministic regardless of
+        completion order — they are slotted by point index.
+        """
+        policy = self.retry
+        workers = min(self.jobs, len(pending))
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        results: Dict[int, Tuple[Tuple[Any, ...], int]] = {}
+        ready = deque((index, 0) for index in pending)
+        delayed: List[Tuple[float, int, int]] = []  # (ready_at, index, attempt)
+        live: Dict[Any, Tuple[Any, int, int, Optional[float]]] = {}
+
+        def settle(result: Tuple[Any, ...], index: int, attempt: int) -> None:
+            if result[0] in ("ok", "error") or attempt >= policy.max_retries:
+                results[index] = (result, attempt + 1)
+                return
+            self.stats.retries += 1
+            delayed.append(
+                (time.monotonic() + policy.backoff_s(attempt), index, attempt + 1)
+            )
+
+        try:
+            while len(results) < len(pending):
+                now = time.monotonic()
+                if delayed:
+                    due = [entry for entry in delayed if entry[0] <= now]
+                    delayed[:] = [entry for entry in delayed if entry[0] > now]
+                    for _, index, attempt in sorted(due):
+                        ready.append((index, attempt))
+                while ready and len(live) < workers:
+                    index, attempt = ready.popleft()
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    process = ctx.Process(
+                        target=_farm_worker,
+                        args=(child_conn, call, point_list[index], index, attempt),
+                        daemon=True,
+                    )
+                    process.start()
+                    child_conn.close()
+                    deadline = (
+                        None
+                        if policy.point_timeout_s is None
+                        else time.monotonic() + policy.point_timeout_s
+                    )
+                    live[parent_conn] = (process, index, attempt, deadline)
+                if not live:
+                    # Everything outstanding is backing off; sleep to the
+                    # earliest retry and loop.
+                    pause = min(entry[0] for entry in delayed) - time.monotonic()
+                    if pause > 0:
+                        time.sleep(pause)
+                    continue
+                wake_times = [
+                    deadline
+                    for (_, _, _, deadline) in live.values()
+                    if deadline is not None
+                ] + [entry[0] for entry in delayed]
+                wait_s = (
+                    None
+                    if not wake_times
+                    else max(0.0, min(wake_times) - time.monotonic())
+                )
+                done = _connection_wait(list(live), timeout=wait_s)
+                for conn in done:
+                    process, index, attempt, _ = live.pop(conn)
+                    try:
+                        payload = conn.recv()
+                    except (EOFError, OSError):
+                        payload = None
+                    conn.close()
+                    process.join()
+                    if payload is None:
+                        payload = (
+                            "transient",
+                            "WorkerCrash",
+                            f"worker pid {process.pid} died with exit code "
+                            f"{process.exitcode} (point {index}, "
+                            f"attempt {attempt})",
+                            None,
+                        )
+                    settle(payload, index, attempt)
+                now = time.monotonic()
+                for conn in [
+                    conn
+                    for conn, (_, _, _, deadline) in live.items()
+                    if deadline is not None and now >= deadline
+                ]:
+                    process, index, attempt, _ = live.pop(conn)
+                    _kill_process(process)
+                    conn.close()
+                    settle(
+                        (
+                            "transient",
+                            "PointTimeout",
+                            f"point {index} exceeded its "
+                            f"{policy.point_timeout_s}s deadline on attempt "
+                            f"{attempt}",
+                            None,
+                        ),
+                        index,
+                        attempt,
+                    )
+        except BaseException:
+            # Ctrl-C or a coordinator bug: no orphaned children, ever.
+            for conn, (process, _, _, _) in live.items():
+                _kill_process(process)
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            raise
+        return [results[index] for index in pending]
 
     def fold_telemetry_into(self, aggregate) -> None:
         """Fold collected kernel records into a ``KernelAggregate``.

@@ -52,11 +52,11 @@ def _markdown_table(headers: Sequence[str], rows) -> str:
     return out.getvalue()
 
 
-def _analytical_sections(out: io.StringIO) -> None:
+def _analytical_sections(out: io.StringIO, executor=None) -> None:
     out.write("## Figure 1 — analytical power optimization\n\n")
     for node in (NODE_130NM, NODE_65NM):
         chip = AnalyticalChipModel(node)
-        curves = figure1_sweep(chip, efficiency_points=41)
+        curves = figure1_sweep(chip, efficiency_points=41, executor=executor)
         rows = []
         for curve in curves:
             def nearest(target, curve=curve):
@@ -80,7 +80,7 @@ def _analytical_sections(out: io.StringIO) -> None:
 
     out.write("## Figure 2 — analytical speedup under the power budget\n\n")
     for node in (NODE_130NM, NODE_65NM):
-        curve = figure2_sweep(AnalyticalChipModel(node))
+        curve = figure2_sweep(AnalyticalChipModel(node), executor=executor)
         n_peak, s_peak = curve.peak()
         lookup = dict(zip(curve.core_counts, curve.speedups))
         rows = [[n, lookup[n]] for n in (1, 2, 4, 8, 16, 24, 32) if n in lookup]
@@ -103,7 +103,9 @@ def _analytical_sections(out: io.StringIO) -> None:
     out.write("\n")
 
 
-def _experimental_sections(out: io.StringIO, options: ReportOptions) -> None:
+def _experimental_sections(
+    out: io.StringIO, options: ReportOptions, executor=None
+) -> None:
     context = ExperimentContext(workload_scale=options.workload_scale)
     out.write(
         f"*Experimental context: workload scale {options.workload_scale}, "
@@ -112,7 +114,7 @@ def _experimental_sections(out: io.StringIO, options: ReportOptions) -> None:
 
     out.write("## Figure 3 — experimental Scenario I\n\n")
     models = [workload_by_name(app) for app in options.scenario1_apps]
-    fig3 = run_scenario1(context, models)
+    fig3 = run_scenario1(context, models, executor=executor)
     rows = [
         [
             app,
@@ -136,7 +138,10 @@ def _experimental_sections(out: io.StringIO, options: ReportOptions) -> None:
 
     out.write("## Figure 4 — experimental Scenario II\n\n")
     models = [workload_by_name(app) for app in options.scenario2_apps]
-    fig4 = run_scenario2(context, models, core_counts=options.scenario2_core_counts)
+    fig4 = run_scenario2(
+        context, models, core_counts=options.scenario2_core_counts,
+        executor=executor,
+    )
     rows = [
         [app, r.n, r.nominal_speedup, r.actual_speedup, r.frequency_hz / GIGA, r.power_w]
         for app, app_rows in fig4.items()
@@ -150,16 +155,74 @@ def _experimental_sections(out: io.StringIO, options: ReportOptions) -> None:
     out.write("\n")
 
 
-def generate_report(options: Optional[ReportOptions] = None) -> str:
-    """Render the full markdown report; returns the document text."""
+def _robustness_section(out: io.StringIO, executor) -> None:
+    """Degraded-mode disclosure: which points, if any, are missing.
+
+    A report built from a partial campaign must say so in the artefact
+    itself — a reader comparing tables against the paper cannot be left
+    to guess that a row is absent because its point was quarantined.
+    """
+    from repro.harness.store import failed_point_rows
+
+    out.write("## Robustness\n\n")
+    stats = executor.stats
+    rows = failed_point_rows(executor.failed)
+    # Deterministic library failures (e.g. infeasible operating points
+    # outside the sweep's valid region) are expected physics, not
+    # degradation; only retryable failures mean the run lost data.
+    quarantined = [r for r in rows if r.retryable]
+    infeasible = [r for r in rows if not r.retryable]
+    total = stats.evaluated + stats.cache_hits
+    if infeasible:
+        out.write(
+            f"{len(infeasible)} point(s) were deterministically "
+            "infeasible (expected outside the valid operating region).\n\n"
+        )
+    if not quarantined:
+        out.write(
+            f"All {total - len(rows)} feasible sweep points completed; "
+            "no transient failures.\n"
+        )
+        return
+    out.write(
+        f"**Degraded run**: {len(quarantined)} point(s) exhausted their "
+        "retry budget; the tables above omit them.\n\n"
+    )
+    out.write(
+        _markdown_table(
+            ["point", "error", "attempts", "message"],
+            [
+                [r.index, r.error_type, r.attempts, r.message]
+                for r in quarantined
+            ],
+        )
+    )
+    out.write("\n")
+
+
+def generate_report(
+    options: Optional[ReportOptions] = None, executor=None
+) -> str:
+    """Render the full markdown report; returns the document text.
+
+    All sweeps share ``executor`` (a default inline one when omitted),
+    so the closing robustness section accounts for every point the
+    report ran — including, under a fault-tolerant executor, the ones
+    that were quarantined and are therefore missing from the tables.
+    """
     options = options or ReportOptions()
+    if executor is None:
+        from repro.harness.executor import SweepExecutor
+
+        executor = SweepExecutor()
     out = io.StringIO()
     out.write(
         "# repro experiment report\n\n"
         "Reproduction of Li & Martinez, *Power-Performance Implications of "
         "Thread-level Parallelism on Chip Multiprocessors* (ISPASS 2005).\n\n"
     )
-    _analytical_sections(out)
+    _analytical_sections(out, executor)
     if options.include_experimental:
-        _experimental_sections(out, options)
+        _experimental_sections(out, options, executor)
+    _robustness_section(out, executor)
     return out.getvalue()

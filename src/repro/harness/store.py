@@ -20,6 +20,7 @@ from typing import Dict, List, Sequence, Union
 from repro.core.sweeps import Figure1Row, Figure2Row
 from repro.errors import ConfigurationError
 from repro.harness.designspace import DesignPoint, DesignRunRow
+from repro.harness.journal import FailedPointRow
 from repro.harness.percore import PerCoreDVFSResult
 from repro.harness.profiling import SimPointRow
 from repro.harness.scenario1 import Scenario1Row
@@ -40,6 +41,9 @@ _ROW_TYPES = {
     "simpoint": SimPointRow,
     "figure1": Figure1Row,
     "figure2": Figure2Row,
+    # Degraded campaigns persist their quarantined/failed points so a
+    # partial store is explicit about what is missing and why.
+    "failedpoint": FailedPointRow,
 }
 _TYPE_NAMES = {cls: name for name, cls in _ROW_TYPES.items()}
 
@@ -54,7 +58,34 @@ Row = Union[
     SimPointRow,
     Figure1Row,
     Figure2Row,
+    FailedPointRow,
 ]
+
+
+def failed_point_rows(outcomes) -> List[FailedPointRow]:
+    """Convert failed ``PointOutcome``s into storable rows.
+
+    Accepts any iterable of outcome-shaped objects (the executor's
+    ``failed`` accumulator, or a full ``map`` result — successes are
+    skipped), so degraded campaigns can persist exactly which points
+    are missing and why, next to their ordinary rows.
+    """
+    rows = []
+    for outcome in outcomes:
+        failure = getattr(outcome, "failure", None)
+        if failure is None:
+            continue
+        rows.append(
+            FailedPointRow(
+                key=outcome.key or "",
+                index=outcome.index,
+                error_type=failure.error_type,
+                message=failure.message,
+                attempts=getattr(outcome, "attempts", 1),
+                retryable=getattr(failure, "retryable", False),
+            )
+        )
+    return rows
 
 
 def _encode_row(row: Row) -> Dict:

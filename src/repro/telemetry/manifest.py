@@ -47,7 +47,15 @@ _MANIFEST_REQUIRED = {
     "points": dict,
     "kernel": dict,
 }
-_POINT_COUNTERS = ("total", "ok", "failed", "cached", "evaluated")
+_POINT_COUNTERS = (
+    "total",
+    "ok",
+    "failed",
+    "cached",
+    "evaluated",
+    "retried",
+    "quarantined",
+)
 _KERNEL_COUNTERS = (
     "runs",
     "total_ops",
@@ -65,6 +73,7 @@ _POINT_EVENT_REQUIRED = {
     "wall_s": (int, float),
     "ops": int,
     "runs": int,
+    "attempts": int,
 }
 
 
@@ -123,6 +132,8 @@ class TelemetryRun:
         self.command = command
         self.argv = list(argv) if argv is not None else None
         self.context_fingerprint = context_fingerprint
+        self.fault_plan: Optional[str] = None
+        self.resume: Optional[Dict[str, Any]] = None
         self.finalized = False
         self._started = time.perf_counter()
         self.points = {name: 0 for name in _POINT_COUNTERS}
@@ -146,15 +157,36 @@ class TelemetryRun:
         """Record the experiment context's cache-key digest."""
         self.context_fingerprint = digest
 
+    def set_fault_plan(self, description: Optional[str]) -> None:
+        """Record that this run injected faults (and which plan)."""
+        self.fault_plan = description
+
+    def set_resume(self, run_id: str, already_complete: int) -> None:
+        """Record that this run resumed an earlier journal.
+
+        Emits a ``resume`` event line as well, so the JSONL log shows
+        *when* the resume happened relative to the point events.
+        """
+        self.resume = {"run_id": run_id, "already_complete": already_complete}
+        self._event(
+            {
+                "event": "resume",
+                "run_id": run_id,
+                "already_complete": already_complete,
+            }
+        )
+
     def record_point(self, outcome: Any) -> None:
         """Log one sweep point's outcome (a ``PointOutcome``-shaped object)."""
         telemetry: Optional[PointTelemetry] = getattr(outcome, "telemetry", None)
+        attempts = int(getattr(outcome, "attempts", 1))
         event: Dict[str, Any] = {
             "event": "point",
             "index": outcome.index,
             "key": outcome.key,
             "status": "ok" if outcome.failure is None else "error",
             "cached": bool(outcome.cached),
+            "attempts": attempts,
             "pid": telemetry.pid if telemetry else 0,
             "start_us": telemetry.start_us if telemetry else 0.0,
             "wall_s": telemetry.wall_s if telemetry else 0.0,
@@ -162,12 +194,19 @@ class TelemetryRun:
             "fast_path_ops": telemetry.fast_path_ops if telemetry else 0,
             "runs": len(telemetry.kernels) if telemetry else 0,
         }
+        quarantined = False
         if outcome.failure is not None:
             event["error_type"] = outcome.failure.error_type
+            quarantined = bool(getattr(outcome.failure, "retryable", False))
+            event["retryable"] = quarantined
         self._event(event)
         self.points["total"] += 1
         self.points["ok" if outcome.failure is None else "failed"] += 1
         self.points["cached" if outcome.cached else "evaluated"] += 1
+        if attempts > 1:
+            self.points["retried"] += 1
+        if quarantined:
+            self.points["quarantined"] += 1
         if telemetry is not None:
             for kernel in telemetry.kernels:
                 self.kernel["cached_runs" if outcome.cached else "runs"] += 1
@@ -219,6 +258,8 @@ class TelemetryRun:
                 "cache_hits": stats.cache_hits,
                 "failures": stats.failures,
                 "uncacheable": stats.uncacheable,
+                "retries": getattr(stats, "retries", 0),
+                "quarantined": getattr(stats, "quarantined", 0),
             }
             cache = getattr(executor, "cache", None)
             if cache is not None:
@@ -247,6 +288,8 @@ class TelemetryRun:
             "git_sha": git_sha(),
             "python": platform.python_version(),
             "context_fingerprint": self.context_fingerprint,
+            "fault_injection": self.fault_plan,
+            "resume": self.resume,
             "status": status,
             "wall_s": round(time.perf_counter() - self._started, 6),
             "points": dict(self.points),

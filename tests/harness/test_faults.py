@@ -1,0 +1,156 @@
+"""Tests for the deterministic fault-injection plane."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InjectedFault, TransientError
+from repro.harness.faults import (
+    ALWAYS,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    inject_fault,
+    parse_fault_plan,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultSpec(kind="explode")
+
+    def test_rejects_zero_failing_attempts(self):
+        with pytest.raises(ConfigurationError, match="failing_attempts"):
+            FaultSpec(kind="raise", failing_attempts=0)
+
+    def test_transient_spec_applies_to_leading_attempts_only(self):
+        spec = FaultSpec(kind="raise", failing_attempts=2)
+        assert spec.applies(0)
+        assert spec.applies(1)
+        assert not spec.applies(2)
+        assert not spec.permanent
+
+    def test_permanent_spec_applies_forever(self):
+        spec = FaultSpec(kind="raise", failing_attempts=ALWAYS)
+        assert spec.permanent
+        assert spec.applies(0)
+        assert spec.applies(10_000)
+
+
+class TestFaultPlan:
+    def test_validates_rates_and_kinds(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(rate=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(permanent_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(kinds=("raise", "meteor"))
+        with pytest.raises(ConfigurationError):
+            FaultPlan(rate=0.5, kinds=())
+
+    def test_zero_rate_plan_faults_nothing(self):
+        plan = FaultPlan(seed=1, rate=0.0)
+        assert plan.faulted_indices(100) == ()
+
+    def test_spec_for_is_deterministic(self):
+        plan = FaultPlan(seed=42, rate=0.3)
+        assert [plan.spec_for(i) for i in range(50)] == [
+            plan.spec_for(i) for i in range(50)
+        ]
+
+    def test_spec_for_is_independent_of_grid_size(self):
+        # The property the chaos tests rely on: point 7's fate does not
+        # change when the grid grows or shrinks around it.
+        small = FaultPlan(seed=9, rate=0.5).faulted_indices(10)
+        large = FaultPlan(seed=9, rate=0.5).faulted_indices(40)
+        assert set(small) == {i for i in large if i < 10}
+
+    def test_different_seeds_give_different_assignments(self):
+        grids = {
+            FaultPlan(seed=seed, rate=0.5).faulted_indices(64)
+            for seed in range(8)
+        }
+        assert len(grids) > 1
+
+    def test_rate_one_faults_everything(self):
+        assert FaultPlan(seed=0, rate=1.0).faulted_indices(16) == tuple(
+            range(16)
+        )
+
+    def test_explicit_faults_override_derivation(self):
+        spec = FaultSpec(kind="kill", failing_attempts=ALWAYS)
+        plan = FaultPlan(seed=3, rate=0.0, faults=((5, spec),))
+        assert plan.spec_for(5) is spec
+        assert plan.spec_for(4) is None
+
+    def test_needs_processes_only_for_hang_and_kill(self):
+        raise_only = FaultPlan(seed=1, rate=1.0, kinds=("raise",))
+        assert not raise_only.needs_processes(8)
+        killer = FaultPlan(
+            seed=1,
+            rate=0.0,
+            faults=((2, FaultSpec(kind="kill")),),
+        )
+        assert killer.needs_processes(8)
+        assert not killer.needs_processes(2)  # fault index outside grid
+
+    def test_permanent_rate_produces_permanent_specs(self):
+        plan = FaultPlan(seed=4, rate=1.0, permanent_rate=1.0)
+        assert all(
+            plan.spec_for(i).permanent for i in range(16)
+        )
+
+    def test_describe_mentions_the_knobs(self):
+        text = FaultPlan(seed=7, rate=0.5, kinds=("raise",)).describe()
+        assert "seed=7" in text
+        assert "rate=0.5" in text
+        assert "kinds=raise" in text
+
+
+class TestInjectFault:
+    def test_no_plan_is_a_no_op(self):
+        inject_fault(None, 0, 0)
+
+    def test_unfaulted_index_is_a_no_op(self):
+        inject_fault(FaultPlan(seed=1, rate=0.0), 0, 0)
+
+    def test_raise_fault_raises_injected_fault(self):
+        plan = FaultPlan(
+            seed=1,
+            faults=((3, FaultSpec(kind="raise", failing_attempts=1)),),
+        )
+        with pytest.raises(InjectedFault, match="point 3, attempt 0"):
+            inject_fault(plan, 3, 0)
+        # The fault is transient: attempt 1 sails through.
+        inject_fault(plan, 3, 1)
+
+    def test_injected_fault_is_transient(self):
+        assert issubclass(InjectedFault, TransientError)
+
+
+class TestParseFaultPlan:
+    def test_bare_integer_is_a_seed(self):
+        plan = parse_fault_plan("42")
+        assert plan.seed == 42
+        assert plan.rate == 0.25
+        assert plan.kinds == FAULT_KINDS
+
+    def test_full_spec_round_trips(self):
+        plan = parse_fault_plan(
+            "seed=7,rate=0.3,kinds=raise+kill,attempts=3,permanent=0.5,hang=5"
+        )
+        assert plan == FaultPlan(
+            seed=7,
+            rate=0.3,
+            kinds=("raise", "kill"),
+            max_failing_attempts=3,
+            permanent_rate=0.5,
+            hang_s=5.0,
+        )
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "seed=", "=3", "seed=x", "bogus=1", "rate=2", "kinds=meteor"],
+    )
+    def test_rejects_malformed_specs(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_fault_plan(text)

@@ -62,3 +62,34 @@ class TestFullReport:
 
     def test_budget_line(self, full_report):
         assert "power budget" in full_report
+
+
+class TestRobustnessSection:
+    def test_clean_report_declares_completion(self, analytical_report):
+        assert "## Robustness" in analytical_report
+        assert "feasible sweep points completed" in analytical_report
+        assert "Degraded run" not in analytical_report
+
+    def test_degraded_report_lists_quarantined_points(self):
+        from repro.harness.executor import RetryPolicy, SweepExecutor
+        from repro.harness.faults import ALWAYS, FaultPlan, FaultSpec
+
+        executor = SweepExecutor(
+            retry=RetryPolicy(
+                max_retries=1, backoff_base_s=0.0, backoff_max_s=0.0
+            ),
+            fault_plan=FaultPlan(
+                seed=0,
+                faults=(
+                    (5, FaultSpec(kind="raise", failing_attempts=ALWAYS)),
+                ),
+            ),
+        )
+        report = generate_report(
+            ReportOptions(include_experimental=False), executor=executor
+        )
+        assert "**Degraded run**" in report
+        assert "InjectedFault" in report
+        # The sabotaged table cell is genuinely absent, and the section
+        # says so instead of leaving the reader to diff row counts.
+        assert "the tables above omit them" in report

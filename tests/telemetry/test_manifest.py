@@ -82,6 +82,8 @@ class TestTelemetryRun:
             "failed": 1,
             "cached": 1,
             "evaluated": 2,
+            "retried": 0,
+            "quarantined": 0,
         }
         assert manifest["kernel"]["runs"] == 2
         assert manifest["kernel"]["cached_runs"] == 1
@@ -116,6 +118,8 @@ class TestTelemetryRun:
             "cache_hits": 3,
             "failures": 0,
             "uncacheable": 1,
+            "retries": 0,
+            "quarantined": 0,
         }
         assert manifest["cache"] == {
             "hits": 3,
@@ -240,3 +244,77 @@ class TestGitSha:
 
     def test_returns_none_outside_a_checkout(self, tmp_path):
         assert git_sha(tmp_path) is None
+
+
+class TestFaultToleranceTelemetry:
+    def retried_outcome(self, index=0, quarantined=False):
+        failure = (
+            SweepFailure(
+                error_type="WorkerCrash", message="died", retryable=True
+            )
+            if quarantined
+            else None
+        )
+        return PointOutcome(
+            index=index,
+            key=f"k{index}",
+            value=None if quarantined else index,
+            failure=failure,
+            attempts=3,
+            telemetry=PointTelemetry(
+                pid=4242, start_us=1e12, wall_s=0.5, kernels=(), spans=()
+            ),
+        )
+
+    def test_retries_and_quarantine_reach_events_and_counters(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig1")
+        run.record_point(self.retried_outcome(0))
+        run.record_point(self.retried_outcome(1, quarantined=True))
+        run.finalize()
+
+        manifest = load_manifest(run.directory)
+        assert manifest["points"]["retried"] == 2
+        assert manifest["points"]["quarantined"] == 1
+        events = load_events(run.directory)
+        assert [e["attempts"] for e in events] == [3, 3]
+        assert events[1]["error_type"] == "WorkerCrash"
+        assert events[1]["retryable"] is True
+        assert "retryable" not in events[0]
+
+    def test_fault_plan_and_resume_land_in_manifest(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig1")
+        run.set_fault_plan("seed=7,rate=0.5,kinds=raise")
+        run.set_resume("20260101T000000Z-1", already_complete=41)
+        run.finalize()
+
+        manifest = load_manifest(run.directory)
+        assert manifest["fault_injection"] == "seed=7,rate=0.5,kinds=raise"
+        assert manifest["resume"] == {
+            "run_id": "20260101T000000Z-1",
+            "already_complete": 41,
+        }
+        resume_events = [
+            e for e in load_events(run.directory) if e["event"] == "resume"
+        ]
+        assert resume_events == [
+            {
+                "event": "resume",
+                "run_id": "20260101T000000Z-1",
+                "already_complete": 41,
+            }
+        ]
+
+    def test_clean_manifests_mark_no_fault_injection(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig1")
+        run.finalize()
+        manifest = load_manifest(run.directory)
+        assert manifest["fault_injection"] is None
+        assert manifest["resume"] is None
+
+    def test_validate_accepts_a_fault_tolerant_run(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig1")
+        run.set_resume("earlier-run", already_complete=1)
+        run.record_point(self.retried_outcome(0, quarantined=True))
+        run.finalize()
+        summary = validate_run_dir(run.directory)
+        assert summary["points"] == 1

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Flaky-test detector: diff the outcomes of two identical pytest runs.
+
+CI runs the harness suite twice back-to-back and feeds both junit XML
+reports here.  A test whose outcome differs between the runs — passed
+then failed, failed then passed, or appearing in only one run — is by
+definition flaky (same code, same environment, different verdict), and
+flaky tests around the fault-tolerance layer are exactly the kind that
+erode trust in the chaos/retry assertions.  Exit code 1 names them.
+
+Usage::
+
+    python tools/flaky_diff.py run1.xml run2.xml
+"""
+
+from __future__ import annotations
+
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict
+
+
+def outcomes(report: Path) -> Dict[str, str]:
+    """Map ``classname::name`` -> outcome for one junit XML report."""
+    try:
+        root = ET.parse(report).getroot()
+    except (ET.ParseError, OSError) as exc:
+        raise SystemExit(f"flaky_diff: cannot read {report}: {exc}")
+    results: Dict[str, str] = {}
+    for case in root.iter("testcase"):
+        test_id = f"{case.get('classname', '')}::{case.get('name', '')}"
+        outcome = "passed"
+        for child in case:
+            if child.tag in ("failure", "error"):
+                outcome = child.tag
+            elif child.tag == "skipped":
+                outcome = "skipped"
+        results[test_id] = outcome
+    return results
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    first, second = outcomes(Path(argv[0])), outcomes(Path(argv[1]))
+    if not first or not second:
+        print("flaky_diff: a report contains no test cases", file=sys.stderr)
+        return 2
+    flaky = []
+    for test_id in sorted(set(first) | set(second)):
+        a = first.get(test_id, "absent")
+        b = second.get(test_id, "absent")
+        if a != b:
+            flaky.append((test_id, a, b))
+    if flaky:
+        print(f"{len(flaky)} flaky test(s): outcome changed between runs")
+        for test_id, a, b in flaky:
+            print(f"  {test_id}: {a} -> {b}")
+        return 1
+    print(f"{len(first)} tests, identical outcomes across both runs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
