@@ -3,7 +3,14 @@
 Run directly (not collected by pytest, which only looks in ``tests/``)::
 
     PYTHONPATH=src:benchmarks python benchmarks/bench_sim.py \
-        [--quick] [--output BENCH_sim.json] [--check BASELINE.json]
+        [--quick] [--mode full|layout] \
+        [--output BENCH_sim.json] [--check BASELINE.json]
+
+``--mode layout`` skips the simulations and instead micro-benchmarks the
+kernel's data structures (flat-array cache lookup/insert/evict and the
+bitmask coherence sharer cycle) in ns/op; see
+:func:`run_layout_benchmark`.  The default ``--mode full`` measures
+whole simulations:
 
 For each (workload, core count) point the benchmark measures simulated
 ops per host second three ways:
@@ -19,7 +26,7 @@ ops per host second three ways:
    :class:`repro.telemetry.trace.Tracer` installed, measuring what
    ``--telemetry-dir`` costs in the kernel loop.  The run doubles the
    geomean tracing overhead into the summary, and the benchmark exits
-   non-zero when it exceeds ``--max-telemetry-overhead`` (default 5%).
+   non-zero when it exceeds ``--max-telemetry-overhead`` (default 15%).
 
 Each mode runs ``--repeats`` times and keeps the best (least-noise)
 time.  Counters are asserted identical between reference, fast, and
@@ -88,8 +95,10 @@ def bench_point(app: str, n: int, scale: float, repeats: int) -> dict:
     def fast_run(cache):
         start = time.perf_counter()
         compiled = compile_workload(model, n, cache=cache)
+        # The whole program, not just its streams: the kernel consumes
+        # the memoized private-line classification for the wide horizon.
         result = ChipMultiprocessor(config, fast_path=True).run(
-            compiled.program.streams, timing, warmup_barriers=warmup
+            compiled.program, timing, warmup_barriers=warmup
         )
         return result, time.perf_counter() - start
 
@@ -148,6 +157,113 @@ def bench_point(app: str, n: int, scale: float, repeats: int) -> dict:
 
 def geomean(values):
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# ---------------------------------------------------------------------------
+# --mode layout: data-structure micro-benchmarks.
+# ---------------------------------------------------------------------------
+
+LAYOUT_SCHEMA = "bench-sim-layout-v1"
+
+
+def _time_loop(fn, iterations: int, repeats: int) -> float:
+    """Best-of-``repeats`` nanoseconds per call of ``fn(iterations)``."""
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(iterations)
+        best = min(best, time.perf_counter() - start)
+    return 1e9 * best / iterations
+
+
+def run_layout_benchmark(args) -> dict:
+    """Isolate the flat-array cache and bitmask-coherence op costs.
+
+    Four micro-kernels, each reported as best-of-``--repeats`` ns/op:
+
+    - ``lookup_hit``     — resident-line lookups (move-to-front path);
+    - ``lookup_miss``    — non-resident lookups (full-set scan, no fill);
+    - ``insert_evict``   — inserts into full sets (victim + shift-down);
+    - ``sharer_cycle``   — coherence reads cycling a line through all
+      cores (bitmask add/iterate) then a write (mask invalidation).
+    """
+    from repro.sim.bus import BusConfig, SharedBus
+    from repro.sim.cache import Cache, CacheConfig
+    from repro.sim.clock import ClockDomain
+    from repro.sim.coherence import MESIController
+    from repro.sim.memory import MainMemory
+
+    config = CacheConfig(capacity_bytes=32 * 1024, line_bytes=32, associativity=4)
+    n_lines = config.n_sets * config.associativity
+
+    # Cache methods take *line* addresses; consecutive integers stripe
+    # the sets evenly (set = line % n_sets).
+    def bench_lookup_hit(iterations: int) -> None:
+        cache = Cache(config)
+        for line in range(n_lines):
+            cache.insert(line, state=1)
+        lookup = cache.lookup
+        for i in range(iterations):
+            lookup(i % n_lines)
+
+    def bench_lookup_miss(iterations: int) -> None:
+        cache = Cache(config)
+        for line in range(n_lines):
+            cache.insert(line, state=1)
+        lookup = cache.lookup
+        for i in range(iterations):
+            lookup(n_lines + i % n_lines)
+
+    def bench_insert_evict(iterations: int) -> None:
+        cache = Cache(config)
+        insert = cache.insert
+        for line in range(iterations):
+            insert(line, state=1)
+
+    def bench_sharer_cycle(iterations: int) -> None:
+        n_cores = 8
+        clock = ClockDomain(3.2e9)
+        ctrl = MESIController(
+            l1_caches=[Cache(config) for _ in range(n_cores)],
+            l2=Cache(
+                CacheConfig(
+                    capacity_bytes=4 * 1024 * 1024,
+                    line_bytes=config.line_bytes,
+                    associativity=8,
+                )
+            ),
+            bus=SharedBus(BusConfig(), clock),
+            memory=MainMemory(),
+            clock=clock,
+        )
+        now_ps = 0
+        for i in range(max(iterations // (n_cores + 1), 1)):
+            addr = (i % 64) * config.line_bytes
+            for core in range(n_cores):
+                now_ps += ctrl.read(core, addr, now_ps)
+            now_ps += ctrl.write(0, addr, now_ps)
+
+    kernels = {
+        "lookup_hit": (bench_lookup_hit, 200_000),
+        "lookup_miss": (bench_lookup_miss, 200_000),
+        "insert_evict": (bench_insert_evict, 100_000),
+        "sharer_cycle": (bench_sharer_cycle, 90_000),
+    }
+    results = {}
+    for name, (fn, iterations) in kernels.items():
+        ns = _time_loop(fn, iterations, args.repeats)
+        results[name] = round(ns, 1)
+        print(f"{name:13s}: {ns:8.1f} ns/op  ({iterations:,} iterations)")
+    return {
+        "schema": LAYOUT_SCHEMA,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "config": {"repeats": args.repeats},
+        "ns_per_op": results,
+    }
 
 
 def run_benchmark(args) -> dict:
@@ -232,6 +348,15 @@ def main() -> int:
         action="store_true",
         help="small point set for CI smoke runs",
     )
+    parser.add_argument(
+        "--mode",
+        choices=("full", "layout"),
+        default="full",
+        help=(
+            "'full' benchmarks whole simulations; 'layout' micro-benchmarks "
+            "the flat-array cache and bitmask coherence ops (ns/op)"
+        ),
+    )
     parser.add_argument("--scale", type=float, default=0.25)
     parser.add_argument(
         "--repeats",
@@ -260,13 +385,27 @@ def main() -> int:
     parser.add_argument(
         "--max-telemetry-overhead",
         type=float,
-        default=0.05,
+        default=0.15,
         help=(
             "fail when the geomean tracing slowdown exceeds this fraction "
-            "(default: 0.05; negative disables the gate)"
+            "(default: 0.15 — the kernel-v2 fast path roughly halved warm "
+            "run time, so the tracer's fixed per-slow-op cost is a "
+            "proportionally larger slice; negative disables the gate)"
         ),
     )
     args = parser.parse_args()
+
+    if args.mode == "layout":
+        report = run_layout_benchmark(args)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.output}")
+        if args.check:
+            print("[check] --check applies to --mode full only", file=sys.stderr)
+            return 2
+        return 0
 
     report = run_benchmark(args)
     summary = report["summary"]

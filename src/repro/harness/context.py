@@ -122,6 +122,22 @@ class ExperimentContext:
         """Clamp a target frequency into the legal scaling range."""
         return min(max(f_hz, self.f_min), self.f_nominal)
 
+    def scaled_model(self, model: WorkloadModel) -> WorkloadModel:
+        """``model`` under this context's ``workload_scale``."""
+        if self.workload_scale != 1.0:
+            return WorkloadModel(model.spec.scaled(self.workload_scale))
+        return model
+
+    def precompile(self, model: WorkloadModel, n_threads: int):
+        """Warm the process-wide compile cache for one (model, N) pair.
+
+        The executor calls this in the coordinator before dispatching a
+        sweep, so forked workers inherit (and pool initializers receive)
+        already-compiled streams instead of recompiling per process.
+        Returns the :class:`repro.sim.ops.CompileOutcome`.
+        """
+        return compile_workload(self.scaled_model(model), n_threads)
+
     def run(
         self,
         model: WorkloadModel,
@@ -137,21 +153,22 @@ class ExperimentContext:
         f_hz = self.clamp_frequency(frequency_hz or self.f_nominal)
         v = voltage if voltage is not None else self.vf_table.voltage_for_frequency(f_hz)
         config = self.cmp_config.with_operating_point(f_hz, v)
-        scaled = model
-        if self.workload_scale != 1.0:
-            scaled = WorkloadModel(model.spec.scaled(self.workload_scale))
+        scaled = self.scaled_model(model)
         compiled = compile_workload(scaled, n_threads)
         chip = ChipMultiprocessor(
             config, fast_path=self.fast_path, profile=self.profile
         )
+        # The whole program (not just its streams): the fast path reuses
+        # the memoized private-line classification across V/f points.
         result = chip.run(
-            compiled.program.streams,
+            compiled.program,
             scaled.core_timing(),
             warmup_barriers=scaled.warmup_barriers,
         )
         if result.kernel is not None:
             result.kernel.compile_s = compiled.seconds
             result.kernel.compile_cache_hit = compiled.from_cache
+            result.kernel.compile_cache_evicted = compiled.evicted
             self.kernel_log.add(result.kernel)
             # Worker processes aggregate into a pickled *copy* of this
             # context; the capture buffer is how their stats reach the

@@ -67,10 +67,27 @@ def _run(config: CMPConfig, model: WorkloadModel, n: int):
     compiled = compile_workload(model, n)
     chip = ChipMultiprocessor(config)
     return chip.run(
-        compiled.program.streams,
+        compiled.program,
         model.core_timing(),
         warmup_barriers=model.warmup_barriers,
     )
+
+
+def _precompile_design_runs(tasks: List[DesignRunTask]) -> None:
+    """Executor warm-up hook: compile each pending (spec, N) stream once.
+
+    Design sweeps bypass :class:`~repro.harness.context.ExperimentContext`
+    (no workload scale), so this compiles the raw specs directly.  Forked
+    workers then inherit the warm process-wide compile cache.
+    """
+    from repro.sim.ops import compile_workload
+
+    seen = set()
+    for task in tasks:
+        key = (task.spec, task.n)
+        if key not in seen:
+            seen.add(key)
+            compile_workload(WorkloadModel(task.spec), task.n)
 
 
 def _design_run(task: DesignRunTask) -> DesignRunRow:
@@ -114,6 +131,7 @@ def sweep_design_parameter(
         _design_run,
         tasks,
         key_configs=[{"kind": "designrun", "task": task} for task in tasks],
+        precompile=_precompile_design_runs,
     )
     points: List[DesignPoint] = []
     for index, label in enumerate(labels):

@@ -66,6 +66,7 @@ from repro.errors import ConfigurationError, ReproError, TransientError
 from repro.harness.faults import FaultPlan, inject_fault
 from repro.harness.journal import JournalEntry, SweepJournal
 from repro.harness.schema import SCHEMA_VERSION
+from repro.sim.ops import stream_cache
 from repro.telemetry.record import (
     PointTelemetry,
     begin_point_capture,
@@ -548,7 +549,26 @@ class _PointCall:
         return status + (telemetry,)
 
 
-def _farm_worker(conn, call: _PointCall, point: Any, index: int, attempt: int) -> None:
+def _seed_stream_cache(entries: List[tuple]) -> None:
+    """Worker initializer: seed the process-wide compile cache.
+
+    On fork platforms workers inherit the coordinator's warm
+    :data:`repro.sim.ops.stream_cache` for free; on spawn platforms the
+    coordinator ships its ``(key, program)`` entries here instead, so
+    parallel sweeps never recompile per worker either way.
+    """
+    for key, program in entries:
+        stream_cache.seed(key, program)
+
+
+def _farm_worker(
+    conn,
+    call: _PointCall,
+    point: Any,
+    index: int,
+    attempt: int,
+    seeds: Optional[List[tuple]] = None,
+) -> None:
     """Child-process entry of the fault-tolerant farm: one attempt.
 
     Sends the :class:`_PointCall` status tuple back over the pipe; a
@@ -556,6 +576,8 @@ def _farm_worker(conn, call: _PointCall, point: Any, index: int, attempt: int) -
     is detected by the coordinator as an EOF plus a nonzero exit code.
     """
     try:
+        if seeds:
+            _seed_stream_cache(seeds)
         payload = call(point, index, attempt)
     except BaseException as exc:  # pragma: no cover - _PointCall captures
         payload = ("raised", type(exc).__name__, str(exc), None)
@@ -647,12 +669,21 @@ class SweepExecutor:
         fn: Callable[[Any], Any],
         points: Iterable[Any],
         key_configs: Optional[Iterable[Any]] = None,
+        precompile: Optional[Callable[[List[Any]], None]] = None,
     ) -> List[PointOutcome]:
         """Evaluate ``fn`` over ``points``; outcomes in input order.
 
         ``fn`` must be picklable for ``jobs > 1`` (a module-level
         function or a :func:`functools.partial` of one).  ``key_configs``
         — one hashable config per point — opts the call into the cache.
+
+        ``precompile``, when given, is called in the coordinator with
+        exactly the points the cache could not satisfy, *before* any
+        worker dispatch.  Sweep pipelines use it to compile op streams
+        once into the process-wide :data:`repro.sim.ops.stream_cache`
+        so forked workers inherit them warm (spawn-platform pools are
+        seeded through an initializer instead); a fully warm-cache
+        rerun pays zero compiles.
         """
         point_list = list(points)
         keys: List[Optional[str]] = [None] * len(point_list)
@@ -693,6 +724,8 @@ class SweepExecutor:
             pending.append(index)
 
         if pending:
+            if precompile is not None:
+                precompile([point_list[i] for i in pending])
             if self.resilient:
                 raw = self._run_resilient(fn, pending, point_list)
             else:
@@ -791,7 +824,16 @@ class SweepExecutor:
             return [call(point) for point in todo]
         workers = min(self.jobs, len(pending))
         chunk = self.chunksize or max(1, len(pending) // (workers * 4))
-        pool = ProcessPoolExecutor(max_workers=workers)
+        # Fork workers inherit the coordinator's warm stream cache; on
+        # spawn platforms the cache entries ship through the initializer.
+        if multiprocessing.get_start_method() != "fork" and len(stream_cache):
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_seed_stream_cache,
+                initargs=(stream_cache.export_entries(),),
+            )
+        else:
+            pool = ProcessPoolExecutor(max_workers=workers)
         try:
             raw = list(pool.map(call, todo, chunksize=chunk))
         except BaseException:
@@ -866,8 +908,10 @@ class SweepExecutor:
         workers = min(self.jobs, len(pending))
         if "fork" in multiprocessing.get_all_start_methods():
             ctx = multiprocessing.get_context("fork")
+            seeds = None  # forked attempts inherit the warm stream cache
         else:  # pragma: no cover - non-POSIX fallback
             ctx = multiprocessing.get_context()
+            seeds = stream_cache.export_entries() or None
         results: Dict[int, Tuple[Tuple[Any, ...], int]] = {}
         ready = deque((index, 0) for index in pending)
         delayed: List[Tuple[float, int, int]] = []  # (ready_at, index, attempt)
@@ -895,7 +939,14 @@ class SweepExecutor:
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
                     process = ctx.Process(
                         target=_farm_worker,
-                        args=(child_conn, call, point_list[index], index, attempt),
+                        args=(
+                            child_conn,
+                            call,
+                            point_list[index],
+                            index,
+                            attempt,
+                            seeds,
+                        ),
                         daemon=True,
                     )
                     process.start()
@@ -998,6 +1049,9 @@ class SweepExecutor:
         fn: Callable[[Any], Any],
         points: Iterable[Any],
         key_configs: Optional[Iterable[Any]] = None,
+        precompile: Optional[Callable[[List[Any]], None]] = None,
     ) -> List[Any]:
         """Like :meth:`map` but unwraps values, re-raising any failure."""
-        return [o.unwrap() for o in self.map(fn, points, key_configs)]
+        return [
+            o.unwrap() for o in self.map(fn, points, key_configs, precompile)
+        ]

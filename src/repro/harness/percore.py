@@ -110,7 +110,7 @@ def run_percore_dvfs(
         context.cmp_config, fast_path=context.fast_path, profile=context.profile
     )
     percore_result = chip.run(
-        compiled.program.streams,
+        compiled.program,
         scaled.core_timing(),
         warmup_barriers=scaled.warmup_barriers,
         core_operating_points=list(zip(frequencies, voltages)),

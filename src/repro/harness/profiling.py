@@ -51,6 +51,10 @@ class KernelAggregate:
     sim_wall_s: float = 0.0
     compile_s: float = 0.0
     compile_cache_hits: int = 0
+    #: Runs whose compile bumped an older program out of the bounded
+    #: stream cache; a nonzero count on a repetitive campaign means the
+    #: cache is too small for its working set.
+    compile_cache_evictions: int = 0
     subsystem_s: Dict[str, float] = field(default_factory=dict)
 
     def add(self, kernel: KernelStats) -> None:
@@ -77,6 +81,7 @@ class KernelAggregate:
         self.sim_wall_s += kernel.sim_wall_s
         self.compile_s += kernel.compile_s
         self.compile_cache_hits += 1 if kernel.compile_cache_hit else 0
+        self.compile_cache_evictions += 1 if kernel.compile_cache_evicted else 0
         subsystems = kernel.subsystem_s
         if isinstance(subsystems, dict):
             subsystems = subsystems.items()
@@ -109,6 +114,10 @@ class KernelAggregate:
             f"compile {self.compile_s:.2f}s "
             f"({self.compile_cache_hits}/{counted} stream-cache hits)"
         )
+        if self.compile_cache_evictions:
+            line += (
+                f", {self.compile_cache_evictions} stream-cache evictions"
+            )
         if self.subsystem_s:
             parts = ", ".join(
                 f"{name} {seconds:.2f}s"
@@ -227,6 +236,28 @@ def sim_point_key(context: ExperimentContext, task: SimPointTask) -> dict:
     return {"kind": "simpoint", "context": context.fingerprint(), "task": task}
 
 
+def precompile_hook(context: ExperimentContext):
+    """A :meth:`SweepExecutor.map` ``precompile`` hook for (spec, N) tasks.
+
+    Returns a callable the executor invokes in the coordinator with the
+    points its result cache could not satisfy; each distinct
+    ``(task.spec, task.n)`` pair is compiled once into the process-wide
+    :data:`repro.sim.ops.stream_cache` (at the context's workload
+    scale), so forked workers inherit warm streams and a fully cached
+    sweep compiles nothing.
+    """
+
+    def warm(points) -> None:
+        seen = set()
+        for task in points:
+            pair = (task.spec, task.n)
+            if pair not in seen:
+                seen.add(pair)
+                context.precompile(WorkloadModel(task.spec), task.n)
+
+    return warm
+
+
 def profile_rows(
     context: ExperimentContext,
     model: WorkloadModel,
@@ -248,6 +279,7 @@ def profile_rows(
         partial(simulate_point, context),
         tasks,
         key_configs=[sim_point_key(context, task) for task in tasks],
+        precompile=precompile_hook(context),
     )
     return {row.n: row for row in rows}
 

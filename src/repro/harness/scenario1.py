@@ -35,6 +35,7 @@ from repro.harness.executor import SweepExecutor
 from repro.harness.profiling import (
     SimPointRow,
     SimPointTask,
+    precompile_hook,
     sim_point_key,
     simulate_point,
 )
@@ -121,6 +122,7 @@ def run_scenario1(
         partial(simulate_point, context),
         profile_tasks,
         key_configs=[sim_point_key(context, task) for task in profile_tasks],
+        precompile=precompile_hook(context),
     )
     profiles: Dict[str, Dict[int, SimPointRow]] = {m.name: {} for m in models}
     for task, row in zip(profile_tasks, profile_rows_list):
@@ -163,6 +165,7 @@ def run_scenario1(
             {"kind": "scenario1", "context": context.fingerprint(), "task": task}
             for task in scaled_tasks
         ],
+        precompile=precompile_hook(context),
     )
     scaled: Dict[str, Dict[int, Scenario1Row]] = {m.name: {} for m in models}
     for task, outcome in zip(scaled_tasks, outcomes):

@@ -36,6 +36,7 @@ from repro.harness.context import ExperimentContext
 from repro.harness.executor import SweepExecutor
 from repro.harness.profiling import (
     SimPointTask,
+    precompile_hook,
     profile_application,
     sim_point_key,
     simulate_point,
@@ -121,6 +122,7 @@ def run_scenario2(
         partial(simulate_point, context),
         profile_tasks,
         key_configs=[sim_point_key(context, task) for task in profile_tasks],
+        precompile=precompile_hook(context),
     )
     times: Dict[str, Dict[int, int]] = {m.name: {} for m in models}
     for task, row in zip(profile_tasks, profile_rows_list):
@@ -147,6 +149,7 @@ def run_scenario2(
             {"kind": "scenario2", "context": context.fingerprint(), "task": task}
             for task in tasks
         ],
+        precompile=precompile_hook(context),
     )
     results: Dict[str, List[Scenario2Row]] = {m.name: [] for m in models}
     for task, outcome in zip(tasks, outcomes):
@@ -277,7 +280,7 @@ def _run_boosted(
         config, fast_path=context.fast_path, profile=context.profile
     )
     result = chip.run(
-        compiled.program.streams,
+        compiled.program,
         scaled.core_timing(),
         warmup_barriers=scaled.warmup_barriers,
     )

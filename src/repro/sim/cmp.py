@@ -25,6 +25,11 @@ from repro.sim.clock import ClockDomain
 from repro.sim.coherence import CoherenceStats, MESIController
 from repro.sim.cpu import DONE, RUNNING, Core, CoreStats, CoreTimingConfig, LockTable
 from repro.sim.memory import MainMemory, MemoryConfig
+from repro.sim.ops import (
+    CompiledProgram,
+    classify_private_lines,
+    resolve_address_streams,
+)
 from repro.telemetry.trace import get_tracer
 from repro.units import PICO
 
@@ -139,6 +144,9 @@ class KernelStats:
     compile_s: float = 0.0
     #: Whether the op streams came from a warm compile cache.
     compile_cache_hit: bool = False
+    #: Whether compiling this run's streams evicted another entry from
+    #: the bounded compile cache (a sweep's working set outgrew it).
+    compile_cache_evicted: bool = False
     #: Optional per-subsystem wall time (populated when profiling):
     #: ``memory`` (controller reads/writes), ``critical`` (lock
     #: sections), ``barrier`` (barrier bookkeeping).
@@ -242,16 +250,19 @@ class ChipMultiprocessor:
 
     def run(
         self,
-        thread_ops: Sequence[Iterable[tuple]],
+        thread_ops: CompiledProgram | Sequence[Iterable[tuple]],
         timing: CoreTimingConfig | Sequence[CoreTimingConfig] | None = None,
         warmup_barriers: int = 0,
         core_operating_points: Optional[Sequence[Tuple[float, float]]] = None,
     ) -> SimulationResult:
         """Simulate the workload's threads to completion.
 
-        ``thread_ops`` supplies one operation stream per thread; the
-        number of threads must not exceed the configured core count
-        (unused cores are shut down, consuming nothing — Section 4.1).
+        ``thread_ops`` supplies one operation stream per thread — or a
+        whole :class:`repro.sim.ops.CompiledProgram`, which additionally
+        carries the memoized private-line classification the fast path
+        uses to widen its safe horizon.  The number of threads must not
+        exceed the configured core count (unused cores are shut down,
+        consuming nothing — Section 4.1).
 
         ``warmup_barriers`` implements the paper's "skip initialization"
         methodology: when that many barriers have completed, all activity
@@ -268,9 +279,14 @@ class ChipMultiprocessor:
         reference interpreter routes every op through the controller.
         Both produce bitwise-identical counters.
         """
+        n_threads = (
+            thread_ops.n_threads
+            if isinstance(thread_ops, CompiledProgram)
+            else len(thread_ops)
+        )
         session = ChipSession(
             self.config,
-            n_threads=len(thread_ops),
+            n_threads=n_threads,
             timing=timing,
             core_operating_points=core_operating_points,
             fast_path=self.fast_path,
@@ -396,20 +412,26 @@ class ChipSession:
     # repro: hot
     def run_window(
         self,
-        thread_ops: Sequence[Iterable[tuple]],
+        thread_ops: CompiledProgram | Sequence[Iterable[tuple]],
         warmup_barriers: int = 0,
     ) -> SimulationResult:
         """Run one window of operations to completion on the warm machine.
 
         Cores are aligned to a common start time (as if released from a
         barrier), counters reset, and the window simulated; caches and
-        reservations persist into the next window.
+        reservations persist into the next window.  A
+        :class:`CompiledProgram` window reuses its memoized private-line
+        classification; raw streams are classified per window (a line
+        private within this window is untouchable by peers for exactly
+        this window's duration, which is all the bypass needs).
         """
         config = self.config
         n_threads = self.n_threads
-        if len(thread_ops) != n_threads:
+        program = thread_ops if isinstance(thread_ops, CompiledProgram) else None
+        streams = program.streams if program is not None else thread_ops
+        if len(streams) != n_threads:
             raise ConfigurationError(
-                f"window has {len(thread_ops)} streams for {n_threads} threads"
+                f"window has {len(streams)} streams for {n_threads} threads"
             )
         clock = self._clock
         cores = self._cores
@@ -422,12 +444,31 @@ class ChipSession:
         # even without --profile: they are host-side only and feed the
         # window's aggregate spans, never the simulated counters.
         profile_timers = self.profile or tracer.enabled
-        for core, ops in zip(cores, thread_ops):
-            core.time_ps = window_start
-            if use_fast:
-                core.bind_stream(ops if type(ops) is list else list(ops))
-                core.prepare_fast_path(profile=profile_timers)
+        if use_fast:
+            l1_config = config.l1_config
+            line_shift = l1_config.line_shift
+            n_sets = l1_config.n_sets
+            way_shift = l1_config.way_shift
+            if program is not None:
+                private = program.private_lines(line_shift)
+                streams = program.resolved_streams(line_shift, n_sets, way_shift)
             else:
+                streams = [
+                    ops if type(ops) is list else list(ops) for ops in streams
+                ]
+                private = classify_private_lines(streams, line_shift)
+                streams = resolve_address_streams(
+                    streams, line_shift, n_sets, way_shift
+                )
+            for core, ops, private_lines in zip(cores, streams, private):
+                core.time_ps = window_start
+                core.bind_stream(ops)
+                core.prepare_fast_path(
+                    profile=profile_timers, private_lines=private_lines
+                )
+        else:
+            for core, ops in zip(cores, streams):
+                core.time_ps = window_start
                 core._ops = iter(ops)
         self._reset_counters()
         steppers = [

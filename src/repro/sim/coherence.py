@@ -34,6 +34,16 @@ from repro.sim.clock import ClockDomain
 from repro.sim.memory import MainMemory
 
 
+def mask_to_ids(mask: int) -> List[int]:
+    """Core ids set in a sharer bitmask, ascending (tests/debug)."""
+    ids: List[int] = []
+    while mask:
+        low = mask & -mask
+        ids.append(low.bit_length() - 1)
+        mask ^= low
+    return ids
+
+
 @dataclass
 class CoherenceStats:
     """Event counters for the whole coherence fabric."""
@@ -96,8 +106,12 @@ class MESIController:
         self.prefetch_next_line = prefetch_next_line
         self._last_miss_line: Dict[int, int] = {}
         self.stats = CoherenceStats()
-        # Snoop filter: L1 line address -> set of core ids holding it.
-        self._sharers: Dict[int, Set[int]] = {}
+        # Snoop filter: L1 line address -> bitmask of core ids holding
+        # it (bit ``i`` set iff core ``i``'s L1 has the line).  Bitmask
+        # iteration walks ascending core ids by construction, so snoop
+        # order is deterministic without sorting, and add/drop/probe
+        # allocate nothing.
+        self._sharers: Dict[int, int] = {}
         # Lines brought in by the prefetcher and not yet demanded: a hit
         # on one of these keeps the stream running (chained prefetch).
         self._prefetched: Set[int] = set()
@@ -115,17 +129,23 @@ class MESIController:
     # -- sharer-map helpers -------------------------------------------------
 
     def _add_sharer(self, line: int, core_id: int) -> None:
-        self._sharers.setdefault(line, set()).add(core_id)
+        sharers = self._sharers
+        sharers[line] = sharers.get(line, 0) | (1 << core_id)
 
     def _drop_sharer(self, line: int, core_id: int) -> None:
-        holders = self._sharers.get(line)
-        if holders is not None:
-            holders.discard(core_id)
-            if not holders:
-                del self._sharers[line]
+        mask = self._sharers.get(line, 0) & ~(1 << core_id)
+        if mask:
+            self._sharers[line] = mask
+        else:
+            self._sharers.pop(line, None)
 
-    def _other_sharers(self, line: int, core_id: int) -> Set[int]:
-        return self._sharers.get(line, set()) - {core_id}
+    def _other_sharers(self, line: int, core_id: int) -> int:
+        """Bitmask of cores other than ``core_id`` holding ``line``."""
+        return self._sharers.get(line, 0) & ~(1 << core_id)
+
+    def sharer_ids(self, line: int) -> List[int]:
+        """Core ids currently holding ``line`` (tests/debug)."""
+        return mask_to_ids(self._sharers.get(line, 0))
 
     def _handle_l1_victim(self, core_id: int, victim, now_ps: int) -> None:
         """Bookkeeping (and bus traffic) for an L1 eviction."""
@@ -168,6 +188,7 @@ class MESIController:
 
     # -- public protocol entry points ----------------------------------------
 
+    # repro: hot
     def read(self, core_id: int, byte_address: int, now_ps: int) -> int:
         """A load by ``core_id``; returns its completion time (ps)."""
         stats = self.stats
@@ -200,8 +221,12 @@ class MESIController:
         else:
             # The snoop downgrades any EXCLUSIVE peer to SHARED; a stale E
             # would later upgrade to M silently while we hold a copy.
-            # Sorted so the probe order never depends on set internals.
-            for other in sorted(others):
+            # Bitmask iteration probes ascending core ids by construction.
+            mask = others
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                other = low.bit_length() - 1
                 if self.l1s[other].probe(line) == EXCLUSIVE:
                     self.l1s[other].set_state(line, SHARED)
             ready = self._fetch_from_l2_or_memory(grant, byte_address)
@@ -217,6 +242,7 @@ class MESIController:
             self._last_miss_line[core_id] = line
         return ready
 
+    # repro: hot
     def write(self, core_id: int, byte_address: int, now_ps: int) -> int:
         """A store by ``core_id``; returns its completion time (ps)."""
         stats = self.stats
@@ -277,16 +303,24 @@ class MESIController:
 
     # -- snoop actions ---------------------------------------------------------
 
-    def _find_modified_owner(self, line: int, others: Set[int]):
+    def _find_modified_owner(self, line: int, others: int) -> Optional[int]:
         # MESI allows at most one MODIFIED owner, so any probe order finds
-        # the same core; sorted keeps the walk order canonical anyway.
-        for other in sorted(others):
+        # the same core; bitmask iteration walks ascending ids anyway.
+        mask = others
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            other = low.bit_length() - 1
             if self.l1s[other].probe(line) == MODIFIED:
                 return other
         return None
 
     def _invalidate_others(self, line: int, core_id: int) -> None:
-        for other in sorted(self._other_sharers(line, core_id)):
+        mask = self._other_sharers(line, core_id)
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            other = low.bit_length() - 1
             state = self.l1s[other].invalidate(line)
             if state is None:
                 raise SimulationError(

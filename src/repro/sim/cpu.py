@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.cache import EXCLUSIVE, MODIFIED
@@ -181,7 +181,11 @@ class Core:
         self._ops_index = 0
         self._ops = iter(ops)
 
-    def prepare_fast_path(self, profile: bool = False) -> None:
+    def prepare_fast_path(
+        self,
+        profile: bool = False,
+        private_lines: FrozenSet[int] = frozenset(),
+    ) -> None:
         """Decide which op classes may bypass the controller this window.
 
         An L1 hit may short-circuit only when the controller would charge
@@ -192,6 +196,11 @@ class Core:
         under exotic hand-built machines.  Loads additionally require the
         prefetcher off — a read hit on a prefetched line triggers stream
         chasing inside the controller.
+
+        ``private_lines`` is this thread's provably-private line set
+        (:func:`repro.sim.ops.classify_private_lines`): L1 hits on those
+        lines resolve inline even past the scheduler horizon, since no
+        peer transaction can ever touch them.
         """
         controller = self.controller
         same_domain = (
@@ -208,17 +217,19 @@ class Core:
         # Window-invariant state for step_fast, packed so each scheduler
         # pop pays one attribute access + tuple unpack instead of a
         # dozen chained lookups.  Only identity-stable objects belong
-        # here: the L1's set dicts and the burst-cost dict are mutated
-        # in place, never replaced, while counters live on objects that
-        # _reset_counters swaps out (so step_fast reads those via self).
+        # here: the L1's flat tag/state arrays and the burst-cost dict
+        # are mutated in place, never replaced, while counters live on
+        # objects that _reset_counters swaps out (so step_fast reads
+        # those via self).
         l1 = controller.l1s[self.core_id]
         self._fast_frame = (
             self._ops_list,
             len(self._ops_list),
             self.core_id,
-            l1._sets,
-            l1._n_sets,
-            l1._line_shift,
+            l1._tags,
+            l1._states,
+            l1._assoc,
+            private_lines,
             self._fast_loads,
             self._fast_stores,
             self._burst_ps,
@@ -342,29 +353,38 @@ class Core:
         ``(next_time, next_id)`` is the scheduler heap's top key after
         this core was popped — the virtual time at which another core
         acts next.  The *safe-horizon* rule: any op touching state
-        another core can observe or mutate (loads/stores — even L1 hits,
-        since a peer's miss can invalidate or downgrade our lines — and
-        critical sections) executes only while this core's ``(time_ps,
-        core_id)`` key is still below that heap key, i.e. exactly while
-        the reference scheduler would keep popping this core anyway.
-        Within the horizon, L1 hits in a suitable MESI state resolve
-        inline (hoisted lookups, batched stat deltas) and anything else
+        another core can observe or mutate (shared-visible loads/stores
+        — even L1 hits, since a peer's miss can invalidate or downgrade
+        our lines — and critical sections) executes only while this
+        core's ``(time_ps, core_id)`` key is still below that heap key,
+        i.e. exactly while the reference scheduler would keep popping
+        this core anyway.  L1 hits on *provably private* lines
+        (classified at compile time: touched by exactly one thread
+        across the whole workload) are exempt — no peer transaction can
+        ever observe or mutate them, their inline effects (own-set LRU
+        reorder, silent E->M, commutative counter increments) commute
+        with every peer action, so they resolve inline regardless of
+        heap position and only the remaining shared-visible ops yield
+        to the horizon.  Within the horizon, shared-visible L1 hits in
+        a suitable MESI state also resolve inline (flat-array probe,
+        move-to-front on commit, batched stat deltas) and anything else
         runs through the reference machinery; past it, the core
         re-enters the heap and waits its turn.  Compute bursts touch
-        only private state and run unconditionally; barrier registration
-        is order-insensitive (the release is a max over frozen arrival
-        times).  This makes the fast path's interleaving of *shared*
-        state mutations identical to the reference interpreter's, hence
-        bitwise-identical counters.  Returns RUNNING, AT_BARRIER, or
-        DONE.
+        only private state and run unconditionally; barrier
+        registration is order-insensitive (the release is a max over
+        frozen arrival times).  This makes the fast path's interleaving
+        of *shared* state mutations identical to the reference
+        interpreter's, hence bitwise-identical counters.  Returns
+        RUNNING, AT_BARRIER, or DONE.
         """
         (
             ops,
             n_ops,
             core_id,
-            sets,
-            n_sets,
-            shift,
+            tags,
+            states,
+            assoc,
+            private,
             fast_loads,
             fast_stores,
             burst_ps,
@@ -372,85 +392,135 @@ class Core:
         ) = self._fast_frame
         i = self._ops_index
         t = self.time_ps
-        # Batched stat deltas (instructions and icache_accesses move in
-        # lockstep everywhere, so one delta serves both).
-        instr_d = 0
+        # Batched stat deltas.  Inline-committed loads/stores are each
+        # one instruction, one L1 hit, and one fast op, so only the
+        # load/store tallies are kept per-commit; the rest is derived at
+        # sync points.  Compute bursts accumulate separately.
+        burst_instr_d = 0
+        burst_fast_d = 0
         busy_d = 0
         loads_d = 0
         stores_d = 0
-        hits_d = 0
-        fast_d = 0
+        # Whether this core still leads the reference pop order.  The
+        # heap-key comparison is loop-invariant while t stands still,
+        # and inline commits never move t — only compute bursts and
+        # slow ops do — so one boolean carries the horizon state
+        # between them.  (t == next_time with core_id == next_id is
+        # impossible: each core has at most one heap entry, and this
+        # one was just popped.)
+        lead = t < next_time or (t == next_time and core_id < next_id)
         while i < n_ops:
             op = ops[i]
             kind = op[0]
             if kind == OP_COMPUTE:
-                key = op[1] if len(op) == 2 else op[2]
-                cost = burst_ps.get(key)
+                # op[-1] is the burst key: the instruction count of a
+                # plain 2-tuple, the segment tuple of a fused op (an int
+                # never equals a tuple, so the keyspaces cannot collide).
+                cost = burst_ps.get(op[-1])
                 if cost is None:
                     cost = self._burst_cost(op)
-                    burst_ps[key] = cost
+                    burst_ps[op[-1]] = cost
                 t += cost[0]
                 busy_d += cost[0]
-                instr_d += cost[1]
-                fast_d += cost[2]
+                burst_instr_d += cost[1]
+                burst_fast_d += cost[2]
                 i += 1
+                lead = t < next_time or (t == next_time and core_id < next_id)
                 continue
-            if kind == OP_BARRIER:
-                # Order-insensitive registration: may complete the batch.
-                i += 1
-                self._ops_index = i
-                if fast_d:
-                    self._sync_deltas(
-                        t, instr_d, busy_d, loads_d, stores_d, hits_d, fast_d
-                    )
-                self.pending_barrier = op[1]
-                return AT_BARRIER
-            # Loads, stores, criticals touch shared-visible state: only
-            # while this core still leads the reference pop order.
-            if t > next_time or (t == next_time and core_id > next_id):
-                break
             if kind == OP_LOAD:
                 if fast_loads:
-                    line = op[1] >> shift
-                    cache_set = sets[line % n_sets]
-                    state = cache_set.get(line)
-                    if state is not None:
-                        del cache_set[line]
-                        cache_set[line] = state
-                        hits_d += 1
+                    # Mutation-free probe first: a broken-out op is later
+                    # replayed through lookup(), which does the LRU move.
+                    # Line and flat set base are geometry-resolved at
+                    # compile time (resolve_address_streams).
+                    line = op[2]
+                    base = op[3]
+                    w = base
+                    end = base + assoc
+                    while w < end and tags[w] != line:
+                        w += 1
+                    if w < end and (lead or line in private):
+                        if w != base:
+                            state = states[w]
+                            while w > base:
+                                tags[w] = tags[w - 1]
+                                states[w] = states[w - 1]
+                                w -= 1
+                            tags[base] = line
+                            states[base] = state
                         loads_d += 1
-                        instr_d += 1
-                        fast_d += 1
                         i += 1
                         continue
+                # Shared-visible (or missing) load: only while this core
+                # still leads the reference pop order.
+                if not lead:
+                    break
                 is_write = False
             elif kind == OP_STORE:
                 if fast_stores:
-                    line = op[1] >> shift
-                    cache_set = sets[line % n_sets]
-                    state = cache_set.get(line)
-                    if state == MODIFIED or state == EXCLUSIVE:
-                        del cache_set[line]
-                        cache_set[line] = MODIFIED
-                        hits_d += 1
-                        stores_d += 1
-                        instr_d += 1
-                        fast_d += 1
-                        i += 1
-                        continue
+                    line = op[2]
+                    base = op[3]
+                    w = base
+                    end = base + assoc
+                    while w < end and tags[w] != line:
+                        w += 1
+                    if w < end:
+                        state = states[w]
+                        if (state == MODIFIED or state == EXCLUSIVE) and (
+                            lead or line in private
+                        ):
+                            while w > base:
+                                tags[w] = tags[w - 1]
+                                states[w] = states[w - 1]
+                                w -= 1
+                            tags[base] = line
+                            states[base] = MODIFIED
+                            stores_d += 1
+                            i += 1
+                            continue
+                if not lead:
+                    break
                 is_write = True
-            elif kind != OP_CRITICAL:
+            elif kind == OP_BARRIER:
+                # Order-insensitive registration: may complete the batch.
+                i += 1
+                self._ops_index = i
+                mem_d = loads_d + stores_d
+                if mem_d or burst_fast_d:
+                    self._sync_deltas(
+                        t,
+                        burst_instr_d + mem_d,
+                        busy_d,
+                        loads_d,
+                        stores_d,
+                        mem_d,
+                        burst_fast_d + mem_d,
+                    )
+                self.pending_barrier = op[1]
+                return AT_BARRIER
+            elif kind == OP_CRITICAL:
+                # Lock-table traffic is always shared-visible.
+                if not lead:
+                    break
+            else:
                 raise ConfigurationError(f"unknown op kind {kind}")
             # A slow op (miss, upgrade, critical section) inside the
             # horizon: the reference machinery runs it here, at exactly
             # the scheduler position the reference interpreter uses.
-            # fast_d == 0 implies t == self.time_ps (only compute bursts
-            # move t between syncs), so a zero-delta sync is a no-op.
-            if fast_d:
+            # Zero deltas imply t == self.time_ps (only compute bursts
+            # move t between syncs), so skipping the sync is safe.
+            mem_d = loads_d + stores_d
+            if mem_d or burst_fast_d:
                 self._sync_deltas(
-                    t, instr_d, busy_d, loads_d, stores_d, hits_d, fast_d
+                    t,
+                    burst_instr_d + mem_d,
+                    busy_d,
+                    loads_d,
+                    stores_d,
+                    mem_d,
+                    burst_fast_d + mem_d,
                 )
-                instr_d = busy_d = loads_d = stores_d = hits_d = fast_d = 0
+                burst_instr_d = busy_d = loads_d = stores_d = burst_fast_d = 0
             if profile:
                 # repro: allow[DET-WALLCLOCK] host-side profiling timer; never feeds simulated state
                 started = time.perf_counter()
@@ -468,10 +538,20 @@ class Core:
             self.slow_ops += 1
             i += 1
             t = self.time_ps
+            lead = t < next_time or (t == next_time and core_id < next_id)
 
         self._ops_index = i
-        if fast_d:
-            self._sync_deltas(t, instr_d, busy_d, loads_d, stores_d, hits_d, fast_d)
+        mem_d = loads_d + stores_d
+        if mem_d or burst_fast_d:
+            self._sync_deltas(
+                t,
+                burst_instr_d + mem_d,
+                busy_d,
+                loads_d,
+                stores_d,
+                mem_d,
+                burst_fast_d + mem_d,
+            )
         if i >= n_ops:
             self.stats.end_time_ps = self.time_ps
             return DONE

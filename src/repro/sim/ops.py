@@ -43,8 +43,8 @@ which is what makes the cache key V/f-free.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.telemetry.trace import get_tracer
 
@@ -92,6 +92,79 @@ def compile_stream(ops: Iterable[tuple]) -> List[tuple]:
 
 
 # repro: hot
+def classify_private_lines(
+    streams: Sequence[List[tuple]], line_shift: int
+) -> List[FrozenSet[int]]:
+    """Per-thread sets of *provably private* line addresses.
+
+    A line is private to thread ``t`` iff every data access to it —
+    loads, stores, and critical-section read-modify-writes — across the
+    whole workload comes from ``t``.  The fast path may resolve L1 hits
+    on private lines inline regardless of the scheduler horizon: no
+    other core ever demand-accesses the line, so no peer transaction
+    can invalidate, downgrade, or observe it (the proof obligation is
+    spelled out in docs/MODEL.md §3.2).  Anything double-counted —
+    including false-sharing-style overlap where threads touch different
+    bytes of one line — is shared-visible for every thread.
+
+    Classification is at line granularity, so it depends on the L1's
+    ``line_shift``; :meth:`CompiledProgram.private_lines` memoizes per
+    shift.
+    """
+    owner: Dict[int, int] = {}
+    for tid, stream in enumerate(streams):
+        for op in stream:
+            kind = op[0]
+            if kind == OP_LOAD or kind == OP_STORE:
+                line = op[1] >> line_shift
+            elif kind == OP_CRITICAL:
+                line = op[3] >> line_shift
+            else:
+                continue
+            prev = owner.get(line)
+            if prev is None:
+                owner[line] = tid
+            elif prev != tid:
+                owner[line] = -1
+    private: List[set] = [set() for _ in streams]
+    for line, tid in owner.items():
+        if tid >= 0:
+            private[tid].add(line)
+    return [frozenset(s) for s in private]
+
+
+# repro: hot
+def resolve_address_streams(
+    streams: Sequence[List[tuple]],
+    line_shift: int,
+    n_sets: int,
+    way_shift: int,
+) -> List[List[tuple]]:
+    """Geometry-resolved copies of ``streams`` for the fast-path kernel.
+
+    Loads and stores gain their L1 line address and flat set base,
+    precomputed once per cache geometry —
+    ``(kind, byte_address, line, set_base)`` — so the hot loop indexes
+    the flat tag array directly instead of doing shift/mod arithmetic
+    per op.  Every other op kind passes through unchanged, and the byte
+    address stays at index 1, which is all the slow-path replay reads.
+    """
+    resolved = []
+    for ops in streams:
+        out = []
+        append = out.append
+        for op in ops:
+            kind = op[0]
+            if kind == OP_LOAD or kind == OP_STORE:
+                line = op[1] >> line_shift
+                append((kind, op[1], line, (line % n_sets) << way_shift))
+            else:
+                append(op)
+        resolved.append(out)
+    return resolved
+
+
+# repro: hot
 def stream_op_count(stream: List[tuple]) -> int:
     """Number of *source* ops a compiled stream represents.
 
@@ -117,11 +190,44 @@ class CompiledProgram:
     total_ops: int
     #: Compiled (post-fusion) op count across all threads.
     compiled_ops: int
+    #: Per-``line_shift`` memo of :func:`classify_private_lines` (the
+    #: shift is machine-dependent while compiled streams are not, so the
+    #: memo lives beside the streams rather than in the cache key).
+    _private_lines: Dict[int, List[FrozenSet[int]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Per-geometry memo of :func:`resolve_address_streams`.  One entry
+    #: per distinct L1 geometry — DVFS sweeps share it, since operating
+    #: points change clocks, never cache geometry.
+    _resolved: Dict[Tuple[int, int, int], List[List[tuple]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def n_threads(self) -> int:
         """Number of per-thread streams."""
         return len(self.streams)
+
+    def private_lines(self, line_shift: int) -> List[FrozenSet[int]]:
+        """Per-thread provably-private line sets at ``line_shift``."""
+        cached = self._private_lines.get(line_shift)
+        if cached is None:
+            cached = classify_private_lines(self.streams, line_shift)
+            self._private_lines[line_shift] = cached
+        return cached
+
+    def resolved_streams(
+        self, line_shift: int, n_sets: int, way_shift: int
+    ) -> List[List[tuple]]:
+        """Geometry-resolved streams (memoized per L1 geometry)."""
+        key = (line_shift, n_sets, way_shift)
+        cached = self._resolved.get(key)
+        if cached is None:
+            cached = resolve_address_streams(
+                self.streams, line_shift, n_sets, way_shift
+            )
+            self._resolved[key] = cached
+        return cached
 
 
 @dataclass
@@ -133,6 +239,10 @@ class CompileOutcome:
     from_cache: bool
     #: Wall-clock seconds this call spent compiling (0 on a cache hit).
     seconds: float
+    #: True when storing this program evicted another cached one (the
+    #: bounded cache was full) — the telemetry signal that a campaign's
+    #: working set exceeds ``OpStreamCache.maxsize``.
+    evicted: bool = False
 
 
 class OpStreamCache:
@@ -143,6 +253,12 @@ class OpStreamCache:
     Compiled programs are immutable by convention (the simulator never
     mutates a stream), so one cached program may back many concurrent
     simulations in a process.
+
+    The cache is bounded (LRU eviction at ``maxsize`` entries) so long
+    ``characterize`` campaigns cannot grow the process-wide cache
+    without limit, and instrumented: ``hits``/``misses``/``evictions``
+    count over the cache's lifetime and are surfaced per run through
+    :class:`repro.sim.cmp.KernelStats`.
     """
 
     def __init__(self, maxsize: int = 32) -> None:
@@ -152,6 +268,7 @@ class OpStreamCache:
         self._programs: Dict[Hashable, CompiledProgram] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._programs)
@@ -167,13 +284,38 @@ class OpStreamCache:
         self._programs[key] = program
         return program
 
-    def put(self, key: Hashable, program: CompiledProgram) -> None:
-        """Insert a program, evicting the least recently used if full."""
+    def put(self, key: Hashable, program: CompiledProgram) -> bool:
+        """Insert a program, evicting the least recently used if full.
+
+        Returns True when an older program was evicted to make room.
+        """
+        evicted = False
         if key in self._programs:
             del self._programs[key]
         elif len(self._programs) >= self.maxsize:
             del self._programs[next(iter(self._programs))]
+            self.evictions += 1
+            evicted = True
         self._programs[key] = program
+        return evicted
+
+    def seed(self, key: Hashable, program: CompiledProgram) -> None:
+        """Insert without counting: executor warm-up of worker caches."""
+        self.put(key, program)
+
+    def export_entries(self) -> List[tuple]:
+        """``(key, program)`` pairs, LRU first (executor warm-up)."""
+        return list(self._programs.items())
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters and current occupancy (one dict, for logs)."""
+        return {
+            "size": len(self._programs),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def clear(self) -> None:
         """Drop every cached program (keeps hit/miss counters)."""
@@ -224,6 +366,9 @@ def compile_workload(
         # repro: allow[DET-WALLCLOCK] compile-time span timing; never feeds simulated state
         seconds = time.perf_counter() - start
         span.set(ops=program.total_ops, compiled_ops=program.compiled_ops)
+    evicted = False
     if key is not None:
-        cache.put(key, program)
-    return CompileOutcome(program=program, from_cache=False, seconds=seconds)
+        evicted = cache.put(key, program)
+    return CompileOutcome(
+        program=program, from_cache=False, seconds=seconds, evicted=evicted
+    )

@@ -43,6 +43,7 @@ class KernelRecord:
     sim_wall_s: float
     compile_s: float
     compile_cache_hit: bool
+    compile_cache_evicted: bool = False
     subsystem_s: Tuple[Tuple[str, float], ...] = ()
 
     @classmethod
@@ -57,6 +58,7 @@ class KernelRecord:
             sim_wall_s=stats.sim_wall_s,
             compile_s=stats.compile_s,
             compile_cache_hit=stats.compile_cache_hit,
+            compile_cache_evicted=getattr(stats, "compile_cache_evicted", False),
             subsystem_s=tuple(sorted(stats.subsystem_s.items())),
         )
 

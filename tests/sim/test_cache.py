@@ -211,4 +211,4 @@ class TestTouchHit:
         a.lookup(1)
         b.touch_hit(1)
         assert a.hits == b.hits
-        assert [dict(s) for s in a._sets] == [dict(s) for s in b._sets]
+        assert a.entries() == b.entries()

@@ -137,8 +137,8 @@ class TestEvictionsAndSharers:
         for addr in addresses:
             t = ctrl.read(0, addr, t)
         # Every line the sharer map claims core 0 holds must be resident.
-        for line, holders in ctrl._sharers.items():
-            for holder in holders:
+        for line in ctrl._sharers:
+            for holder in ctrl.sharer_ids(line):
                 assert ctrl.l1s[holder].probe(line) is not None
 
     def test_l2_catches_l1_victim_reread(self):

@@ -1,0 +1,310 @@
+"""Property-based differential suite for the kernel-v2 fast path.
+
+Random synthetic workloads — overlapping footprints, tight caches,
+random barrier/critical placement — run through the reference
+interpreter and the fast-path kernel, asserting bitwise-identical
+counters (the same contract as tests/sim/test_fastpath_equivalence.py,
+but over adversarial generated inputs instead of the bundled SPLASH-2
+models).  A second fast run on the *same* compiled program re-uses the
+memoized private-line classification and geometry-resolved streams, so
+the warm path is exercised too.
+
+Also here: the false-sharing regression tests for
+:func:`repro.sim.ops.classify_private_lines` — two threads touching
+*different bytes of one line* must never classify it private — and unit
+coverage for the geometry-resolved streams and the bounded compile
+cache's instrumentation.
+"""
+
+from dataclasses import asdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import ChipMultiprocessor, CMPConfig
+from repro.sim.cache import CacheConfig
+from repro.sim.ops import (
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_CRITICAL,
+    OP_LOAD,
+    OP_STORE,
+    CompiledProgram,
+    OpStreamCache,
+    classify_private_lines,
+    compile_stream,
+    resolve_address_streams,
+)
+
+
+def counters(result):
+    """Every simulated counter of one run, as one comparable value."""
+    return {
+        "execution_time_ps": result.execution_time_ps,
+        "core_stats": [asdict(s) for s in result.core_stats],
+        "coherence": asdict(result.coherence),
+        "l1": [
+            (c.hits, c.misses, c.evictions, c.writebacks)
+            for c in result.l1_caches
+        ],
+        "l2": (
+            result.l2.hits,
+            result.l2.misses,
+            result.l2.evictions,
+            result.l2.writebacks,
+        ),
+        "bus": (
+            result.bus.transactions,
+            result.bus.data_transfers,
+            result.bus.busy_ps,
+            result.bus.wait_ps,
+        ),
+        "memory_requests": result.memory_requests,
+        "locks": (result.lock_acquires, result.lock_contended),
+        "barriers": result.barriers,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Random workload generation.
+# ---------------------------------------------------------------------------
+
+#: A tiny address pool: some addresses land on lines only one thread
+#: uses, others are shared or overlap within a line — the generator
+#: draws from all of it, so private classification, invalidations, and
+#: false sharing all occur.
+LINE_BYTES = 32
+
+
+def _segment(draw, rng, thread_id, n_threads):
+    """One barrier-free run of ops for ``thread_id``."""
+    ops = []
+    for _ in range(draw(rng.integers(0, 12))):
+        kind = draw(rng.integers(0, 6))
+        if kind <= 1:
+            ops.append((OP_COMPUTE, draw(rng.integers(1, 50))))
+        elif kind <= 3:
+            # Thread-striped region: mostly private, but offsets near
+            # the stripe edge fall into a neighbour's line (false
+            # sharing at line granularity).
+            base = 0x1000 + thread_id * 0x40
+            addr = base + draw(rng.integers(0, 0x50))
+            op = OP_LOAD if kind == 2 else OP_STORE
+            ops.append((op, addr))
+        elif kind == 4:
+            # Hot shared line, different bytes per thread.
+            ops.append((OP_STORE, 0x8000 + thread_id * 4))
+        else:
+            ops.append((OP_CRITICAL, 0, draw(rng.integers(1, 10)), 0x9000))
+    return ops
+
+
+@st.composite
+def synthetic_workloads(draw):
+    n_threads = draw(st.integers(min_value=1, max_value=4))
+    n_barriers = draw(st.integers(min_value=0, max_value=3))
+    threads = []
+    for t in range(n_threads):
+        ops = []
+        for b in range(n_barriers + 1):
+            ops.extend(_segment(draw, st, t, n_threads))
+            if b < n_barriers:
+                ops.append((OP_BARRIER, b))
+        threads.append(ops)
+    # Tight caches force evictions and writebacks; tiny L2 forces memory
+    # traffic.  Both keep the Table 1 power-of-two invariants.
+    config = CMPConfig(
+        n_cores=n_threads,
+        l1_config=CacheConfig(
+            capacity_bytes=draw(st.sampled_from((256, 512, 1024))),
+            line_bytes=LINE_BYTES,
+            associativity=draw(st.sampled_from((1, 2, 4))),
+        ),
+        l2_config=CacheConfig(
+            capacity_bytes=4096,
+            line_bytes=LINE_BYTES,
+            associativity=4,
+        ),
+    )
+    return threads, config
+
+
+class TestRandomWorkloadDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(synthetic_workloads())
+    def test_reference_fast_and_warm_agree(self, case):
+        threads, config = case
+        reference = ChipMultiprocessor(config, fast_path=False).run(
+            [iter(t) for t in threads]
+        )
+        streams = [compile_stream(t) for t in threads]
+        program = CompiledProgram(
+            streams=streams,
+            total_ops=sum(len(t) for t in threads),
+            compiled_ops=sum(len(s) for s in streams),
+        )
+        fast = ChipMultiprocessor(config, fast_path=True).run(program)
+        assert counters(reference) == counters(fast)
+        # Warm rerun: memoized private classification + resolved streams.
+        assert program._private_lines and program._resolved
+        warm = ChipMultiprocessor(config, fast_path=True).run(program)
+        assert counters(reference) == counters(warm)
+
+    @settings(max_examples=25, deadline=None)
+    @given(synthetic_workloads())
+    def test_private_lines_disjoint_across_threads(self, case):
+        threads, config = case
+        streams = [compile_stream(t) for t in threads]
+        private = classify_private_lines(
+            streams, config.l1_config.line_shift
+        )
+        for i, mine in enumerate(private):
+            for j, theirs in enumerate(private):
+                if i != j:
+                    assert not (mine & theirs)
+
+
+# ---------------------------------------------------------------------------
+# False-sharing regression: overlap within a line is never private.
+# ---------------------------------------------------------------------------
+
+LINE_SHIFT = 5  # 32-byte lines
+
+
+class TestFalseSharingClassification:
+    def test_different_bytes_of_one_line_not_private(self):
+        # Thread 0 touches byte 0, thread 1 touches byte 8 of the same
+        # 32-byte line: distinct addresses, one line — shared-visible.
+        streams = [
+            [(OP_LOAD, 0x2000)],
+            [(OP_STORE, 0x2008)],
+        ]
+        private = classify_private_lines(streams, LINE_SHIFT)
+        assert private == [frozenset(), frozenset()]
+
+    def test_distinct_lines_are_private(self):
+        streams = [
+            [(OP_LOAD, 0x2000), (OP_STORE, 0x2004)],
+            [(OP_STORE, 0x2020)],
+        ]
+        private = classify_private_lines(streams, LINE_SHIFT)
+        assert private == [
+            frozenset({0x2000 >> LINE_SHIFT}),
+            frozenset({0x2020 >> LINE_SHIFT}),
+        ]
+
+    def test_critical_section_address_counts_as_a_touch(self):
+        # The critical-section read-modify-write touches the protected
+        # line, so a peer's plain load shares it.
+        streams = [
+            [(OP_CRITICAL, 0, 5, 0x3000)],
+            [(OP_LOAD, 0x3010)],
+        ]
+        private = classify_private_lines(streams, LINE_SHIFT)
+        assert private == [frozenset(), frozenset()]
+
+    def test_single_thread_owns_everything_it_touches(self):
+        streams = [[(OP_LOAD, 0x100), (OP_STORE, 0x200), (OP_CRITICAL, 0, 1, 0x300)]]
+        private = classify_private_lines(streams, LINE_SHIFT)
+        assert private == [
+            frozenset({0x100 >> LINE_SHIFT, 0x200 >> LINE_SHIFT, 0x300 >> LINE_SHIFT})
+        ]
+
+    def test_line_shift_changes_the_verdict(self):
+        # 0x2000 and 0x2008 share a 32-byte line but not an 8-byte one.
+        streams = [[(OP_LOAD, 0x2000)], [(OP_STORE, 0x2008)]]
+        assert classify_private_lines(streams, 5) == [frozenset(), frozenset()]
+        assert classify_private_lines(streams, 3) == [
+            frozenset({0x2000 >> 3}),
+            frozenset({0x2008 >> 3}),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Geometry-resolved streams.
+# ---------------------------------------------------------------------------
+
+
+class TestResolveAddressStreams:
+    def test_loads_and_stores_gain_line_and_base(self):
+        streams = [[(OP_LOAD, 0x2004), (OP_STORE, 0x2020), (OP_COMPUTE, 7)]]
+        n_sets, way_shift, shift = 8, 2, 5
+        resolved = resolve_address_streams(streams, shift, n_sets, way_shift)
+        line = 0x2004 >> shift
+        assert resolved[0][0] == (OP_LOAD, 0x2004, line, (line % n_sets) << way_shift)
+        line2 = 0x2020 >> shift
+        assert resolved[0][1] == (
+            OP_STORE,
+            0x2020,
+            line2,
+            (line2 % n_sets) << way_shift,
+        )
+        # Non-memory ops pass through by identity.
+        assert resolved[0][2] == (OP_COMPUTE, 7)
+
+    def test_byte_address_stays_at_index_one(self):
+        # The slow-path replay reads op[1]; resolution must not move it.
+        streams = [[(OP_LOAD, 0xABCD)]]
+        resolved = resolve_address_streams(streams, 5, 8, 2)
+        assert resolved[0][0][1] == 0xABCD
+
+    def test_program_memo_is_per_geometry(self):
+        program = CompiledProgram(
+            streams=[[(OP_LOAD, 0x40)]], total_ops=1, compiled_ops=1
+        )
+        a = program.resolved_streams(5, 8, 2)
+        b = program.resolved_streams(5, 8, 2)
+        c = program.resolved_streams(6, 8, 2)
+        assert a is b
+        assert c is not a
+        assert len(program._resolved) == 2
+
+
+# ---------------------------------------------------------------------------
+# Bounded compile-cache instrumentation.
+# ---------------------------------------------------------------------------
+
+
+def _program(tag):
+    return CompiledProgram(
+        streams=[[(OP_COMPUTE, tag)]], total_ops=1, compiled_ops=1
+    )
+
+
+class TestOpStreamCacheInstrumentation:
+    def test_eviction_counter_and_put_return(self):
+        cache = OpStreamCache(maxsize=2)
+        assert cache.put("a", _program(1)) is False
+        assert cache.put("b", _program(2)) is False
+        assert cache.evictions == 0
+        assert cache.put("c", _program(3)) is True
+        assert cache.evictions == 1
+        assert cache.get("a") is None
+
+    def test_stats_snapshot(self):
+        cache = OpStreamCache(maxsize=2)
+        cache.put("a", _program(1))
+        cache.get("a")
+        cache.get("missing")
+        cache.put("b", _program(2))
+        cache.put("c", _program(3))
+        assert cache.stats() == {
+            "size": 2,
+            "maxsize": 2,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 1,
+        }
+
+    def test_seed_and_export_round_trip(self):
+        cache = OpStreamCache(maxsize=4)
+        program = _program(1)
+        cache.put("a", program)
+        entries = cache.export_entries()
+        other = OpStreamCache(maxsize=4)
+        for key, value in entries:
+            other.seed(key, value)
+        assert other.get("a") is not None
+        # Seeding neither counts as a hit nor a miss.
+        assert other.stats()["misses"] == 0
+        assert other.stats()["hits"] == 1  # the get above

@@ -47,9 +47,8 @@ def check_invariants(ctrl):
     # Collect resident lines per core.
     holders = {}
     for core_id, cache in enumerate(ctrl.l1s):
-        for cache_set in cache._sets:
-            for line, state in cache_set.items():
-                holders.setdefault(line, []).append((core_id, state))
+        for line, state in cache.entries():
+            holders.setdefault(line, []).append((core_id, state))
 
     for line, entries in holders.items():
         states = [state for _, state in entries]
@@ -59,17 +58,19 @@ def check_invariants(ctrl):
             assert len(entries) == 1, f"E line {line:#x} has co-holders: {entries}"
 
     # Sharer map exactly mirrors residency.
-    for line, sharer_ids in ctrl._sharers.items():
+    for line in ctrl._sharers:
         resident = {
             core_id
             for core_id, cache in enumerate(ctrl.l1s)
             if cache.probe(line) is not None
         }
-        assert sharer_ids == resident, f"sharer map drift on line {line:#x}"
+        assert set(ctrl.sharer_ids(line)) == resident, (
+            f"sharer map drift on line {line:#x}"
+        )
     # ...and no resident line is missing from the map.
     for line, entries in holders.items():
         assert line in ctrl._sharers
-        assert {core_id for core_id, _ in entries} == ctrl._sharers[line]
+        assert {core_id for core_id, _ in entries} == set(ctrl.sharer_ids(line))
 
 
 @given(ops=operations)
