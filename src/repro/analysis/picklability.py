@@ -67,6 +67,10 @@ PICKLE_ROOTS: Tuple[str, ...] = (
     "KernelRecord",
     "PointTelemetry",
     "SpanRecord",
+    "SampleRecord",
+    # alert-rule rows persisted into manifests
+    "AlertRule",
+    "AlertFinding",
 )
 
 

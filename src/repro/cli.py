@@ -268,15 +268,16 @@ def _executor_from_args(args, telemetry_run=None, command: str = "sweep"):
 def _telemetry_run_from_args(args, command: str):
     """Enable tracing and open a run directory when ``--telemetry-dir`` is set.
 
-    Tracing must be on before the worker pool forks so the children
-    inherit the enabled tracer (and with it the shared wall-clock
-    anchor).
+    Tracing and counter sampling must be on before the worker pool forks
+    so the children inherit the enabled tracer and sampler (and with
+    them the shared wall-clock anchor).
     """
     if not getattr(args, "telemetry_dir", None):
         return None
-    from repro.telemetry import TelemetryRun, enable_tracing
+    from repro.telemetry import TelemetryRun, enable_sampling, enable_tracing
 
     enable_tracing()
+    enable_sampling()
     return TelemetryRun(
         args.telemetry_dir, command=command, argv=list(sys.argv[1:])
     )
@@ -404,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     for name, help_text in (
         ("export", "write Chrome trace_event JSON for chrome://tracing"),
         ("metrics", "print per-phase span counts and wall time"),
+        ("timeline", "render sampled counter channels as sparklines"),
         ("validate", "check a run directory against the manifest schema"),
     ):
         sub = trace_commands.add_parser(name, help=help_text)
@@ -424,6 +426,20 @@ def build_parser() -> argparse.ArgumentParser:
                 "--output",
                 default="trace.json",
                 help="output file (default: trace.json)",
+            )
+        if name == "timeline":
+            sub.add_argument(
+                "--channel",
+                action="append",
+                default=None,
+                metavar="NAME",
+                help="channel to render (repeatable; default: all sampled)",
+            )
+            sub.add_argument(
+                "--width",
+                type=int,
+                default=60,
+                help="sparkline width in characters (default: 60)",
             )
 
     report = commands.add_parser(
@@ -735,16 +751,85 @@ def _cmd_trace(args) -> int:
             )
         elif args.trace_command == "metrics":
             print(metrics_table(run_dir))
+        elif args.trace_command == "timeline":
+            print(_render_timeline(run_dir, args.channel, args.width))
         else:  # validate
             summary = validate_run_dir(run_dir)
-            print(
+            line = (
                 f"{run_dir}: OK — status {summary['manifest']['status']!r}, "
-                f"{summary['points']} point events, {summary['spans']} spans"
+                f"{summary['points']} point events, {summary['spans']} spans, "
+                f"{summary['samples']} timeline samples"
             )
+            if summary["torn_samples"]:
+                line += f" ({summary['torn_samples']} torn lines skipped)"
+            print(line)
     except ConfigurationError as exc:
         print(f"trace {args.trace_command}: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _render_timeline(run_dir, channels, width: int) -> str:
+    """Sparklines plus alert findings for one run's sampled timeline."""
+    from repro.errors import ConfigurationError
+    from repro.harness.asciichart import sparkline
+    from repro.telemetry import (
+        evaluate_rules,
+        load_manifest,
+        load_timeline,
+        stats_from_samples,
+    )
+    from repro.telemetry.timeseries import SampleRecord
+
+    entries, torn = load_timeline(run_dir)
+    samples = [
+        SampleRecord.from_dict(entry)
+        for entry in entries
+        if isinstance(entry.get("channel"), str)
+    ]
+    if not samples:
+        return f"{run_dir}: no timeline samples (was sampling enabled?)"
+    grouped: dict = {}
+    for record in samples:
+        grouped.setdefault(record.channel, []).append(record.value)
+    if channels:
+        missing = [name for name in channels if name not in grouped]
+        if missing:
+            raise ConfigurationError(
+                f"{run_dir}: no samples for channel(s) {', '.join(missing)}; "
+                f"sampled: {', '.join(sorted(grouped))}"
+            )
+        grouped = {name: grouped[name] for name in channels}
+    label_width = max(len(name) for name in grouped)
+    lines = []
+    for name in sorted(grouped):
+        values = grouped[name]
+        lines.append(
+            f"{name.ljust(label_width)}  {sparkline(values, width=width)}  "
+            f"[{min(values):.4g} .. {max(values):.4g}] n={len(values)}"
+        )
+    if torn:
+        lines.append(f"({torn} torn timeline lines skipped)")
+
+    manifest = load_manifest(run_dir)
+    dropped = 0
+    declared = manifest.get("timeline")
+    if isinstance(declared, dict) and isinstance(declared.get("dropped"), int):
+        dropped = declared["dropped"]
+    findings = evaluate_rules(stats_from_samples(samples), dropped=dropped)
+    if findings:
+        lines.append("")
+        lines.append("alerts:")
+        for finding in findings:
+            where = f" on {finding.channel}" if finding.channel else ""
+            lines.append(
+                f"  [{finding.rule}]{where}: {finding.message} "
+                f"(observed {finding.value:.4g}, threshold {finding.threshold:.4g})"
+            )
+    else:
+        lines.append("")
+        lines.append("alerts: none fired")
+    return "\n".join(lines)
 
 
 def _cmd_report(args) -> int:

@@ -6,9 +6,11 @@ render figures as character grids.  Two chart types cover the paper:
 * :func:`xy_chart` — scatter/line families on a numeric plane
   (Figure 1's power-vs-efficiency curves, Figure 2's speedup-vs-N);
 * :func:`bar_chart` — grouped horizontal bars (Figure 3's per-app
-  panels).
+  panels);
+* :func:`sparkline` — one-line level strip for sampled counter
+  timelines (``repro trace timeline``).
 
-Both return plain strings; callers print them.
+All return plain strings; callers print them.
 """
 
 from __future__ import annotations
@@ -19,6 +21,9 @@ from repro.errors import ConfigurationError
 
 #: Marker cycle for series.
 MARKERS = "ox+*#@%&"
+
+#: Density ramp for :func:`sparkline`, low to high.
+SPARK_LEVELS = " .:-=+*#%@"
 
 
 def xy_chart(
@@ -79,6 +84,37 @@ def xy_chart(
     )
     lines.append("          " + legend)
     return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a value series as a one-line density strip.
+
+    Values are scaled to the series' own min/max and mapped onto
+    :data:`SPARK_LEVELS`; a flat series renders at the middle level so
+    a constant 80 °C does not look like zero.  Series longer than
+    ``width`` are resampled by bucket mean, so the strip always fits
+    one terminal line.
+    """
+    if not values:
+        raise ConfigurationError("sparkline needs at least one value")
+    if width < 1:
+        raise ConfigurationError("sparkline width must be >= 1")
+    points = list(values)
+    if len(points) > width:
+        buckets: List[float] = []
+        for i in range(width):
+            lo = i * len(points) // width
+            hi = max(lo + 1, (i + 1) * len(points) // width)
+            chunk = points[lo:hi]
+            buckets.append(sum(chunk) / len(chunk))
+        points = buckets
+    v_lo, v_hi = min(points), max(points)
+    if v_hi <= v_lo:
+        return SPARK_LEVELS[len(SPARK_LEVELS) // 2] * len(points)
+    top = len(SPARK_LEVELS) - 1
+    return "".join(
+        SPARK_LEVELS[round((v - v_lo) / (v_hi - v_lo) * top)] for v in points
+    )
 
 
 def bar_chart(

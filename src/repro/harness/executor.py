@@ -72,6 +72,7 @@ from repro.telemetry.record import (
     begin_point_capture,
     end_point_capture,
 )
+from repro.telemetry.timeseries import get_sampler
 from repro.telemetry.trace import get_tracer, now_us
 
 PathLike = Union[str, Path]
@@ -295,6 +296,10 @@ class PointOutcome:
     #: time, per-run kernel stats, span trees.  For cached outcomes this
     #: is the *original* evaluation's telemetry, replayed from the cache.
     telemetry: Optional[PointTelemetry] = None
+    #: Which executor lane produced this outcome: ``inline`` (evaluated
+    #: in the coordinator), ``pool`` (long-lived worker pool), ``farm``
+    #: (fault-tolerant process-per-attempt), or ``cache`` (replayed).
+    lane: str = "inline"
 
     @property
     def ok(self) -> bool:
@@ -523,6 +528,12 @@ class _PointCall:
 
     def __call__(self, point: Any, index: Optional[int] = None, attempt: int = 0):
         begin_point_capture()
+        # Counter readings are drained from this mark, not from zero: a
+        # forked worker inherits whatever the coordinator had buffered
+        # (context calibration runs, say), and those inherited readings
+        # must not ride home duplicated with every worker's first point.
+        sampler = get_sampler()
+        sample_mark = sampler.mark()
         start_us = now_us()
         start = time.perf_counter()
         try:
@@ -536,6 +547,7 @@ class _PointCall:
         except Exception as exc:
             if not self.capture_bugs:
                 end_point_capture()
+                sampler.drain_since(sample_mark)
                 raise
             status = ("raised", type(exc).__name__, str(exc))
         wall_s = time.perf_counter() - start
@@ -545,6 +557,7 @@ class _PointCall:
             wall_s=wall_s,
             kernels=end_point_capture(),
             spans=tuple(get_tracer().drain_records()),
+            samples=tuple(sampler.drain_since(sample_mark)),
         )
         return status + (telemetry,)
 
@@ -649,6 +662,9 @@ class SweepExecutor:
         #: Per-point telemetry awaiting :meth:`fold_telemetry_into`
         #: (``(telemetry, cached)`` pairs, accumulated across ``map`` calls).
         self._telemetry_log: List[Tuple[PointTelemetry, bool]] = []
+        #: Which lane the most recent evaluation batch ran in; stamped
+        #: onto the batch's outcomes for trace attribution.
+        self._last_lane = "inline"
 
     @property
     def resilient(self) -> bool:
@@ -714,6 +730,7 @@ class SweepExecutor:
                         failure=entry.failure,
                         cached=True,
                         telemetry=entry.telemetry,
+                        lane="cache",
                     )
                     self.stats.cache_hits += 1
                     if entry.failure is not None:
@@ -733,6 +750,7 @@ class SweepExecutor:
                     (result, 1)
                     for result in self._run_default(fn, pending, point_list)
                 ]
+            lane = self._last_lane
             for index, (result, attempts) in zip(pending, raw):
                 self.stats.evaluated += 1
                 telemetry = result[-1]
@@ -743,6 +761,7 @@ class SweepExecutor:
                         value=result[1],
                         telemetry=telemetry,
                         attempts=attempts,
+                        lane=lane,
                     )
                 else:
                     retryable = result[0] in ("transient", "raised")
@@ -757,6 +776,7 @@ class SweepExecutor:
                         ),
                         telemetry=telemetry,
                         attempts=attempts,
+                        lane=lane,
                     )
                     self.stats.failures += 1
                     if retryable:
@@ -821,7 +841,9 @@ class SweepExecutor:
         call = _PointCall(fn)
         todo = [point_list[i] for i in pending]
         if self.jobs == 1 or len(pending) == 1:
+            self._last_lane = "inline"
             return [call(point) for point in todo]
+        self._last_lane = "pool"
         workers = min(self.jobs, len(pending))
         chunk = self.chunksize or max(1, len(pending) // (workers * 4))
         # Fork workers inherit the coordinator's warm stream cache; on
@@ -866,7 +888,9 @@ class SweepExecutor:
             )
         )
         if needs_processes:
+            self._last_lane = "farm"
             return self._run_farm(call, pending, point_list)
+        self._last_lane = "inline"
         return self._run_inline_retries(call, pending, point_list)
 
     def _run_inline_retries(

@@ -33,6 +33,8 @@ from repro.errors import ConfigurationError
 from repro.harness.context import ExperimentContext
 from repro.sim.cmp import ChipSession
 from repro.sim.ops import OP_BARRIER
+from repro.telemetry.timeseries import get_sampler
+from repro.units import GIGA
 from repro.workloads.base import WorkloadModel
 
 
@@ -189,6 +191,15 @@ def run_governed(
         frequency = context.clamp_frequency(governor.next_frequency(measurement))
         voltage = context.vf_table.voltage_for_frequency(frequency)
         session.set_operating_point(frequency, voltage)
+        sampler = get_sampler()
+        if sampler.enabled:
+            # One reading per governor decision: the frequency it chose
+            # for the *next* window, against what it measured.
+            sampler.sample("governor.frequency_ghz", frequency / GIGA)
+            sampler.sample("governor.power_w", measurement.power_w)
+            sampler.sample(
+                "governor.stall_fraction", measurement.memory_stall_fraction
+            )
 
     return GovernedRun(
         windows=tuple(measurements),

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import List, Mapping, Tuple
 
 from repro.errors import ConfigurationError
+from repro.telemetry.timeseries import get_sampler
 from repro.thermal.hotspot import HotSpotModel
 from repro.units import kelvin_to_celsius
 
@@ -101,8 +102,10 @@ def thermal_step_response(
     target_state = network.steady_state(power_after, ambient)
     target_c = _average_core_c(thermal, target_state)
 
+    sampler = get_sampler()
     step_s = duration_s / (n_samples - 1)
     samples: List[Tuple[float, float]] = [(0.0, start_c)]
+    sampler.sample("thermal.transient_c", start_c)
     for i in range(1, n_samples):
         state = network.transient(
             power_after,
@@ -111,7 +114,9 @@ def thermal_step_response(
             duration_s=step_s,
             dt_s=dt_s,
         )
-        samples.append((i * step_s, _average_core_c(thermal, state)))
+        average_c = _average_core_c(thermal, state)
+        samples.append((i * step_s, average_c))
+        sampler.sample("thermal.transient_c", average_c)
 
     return ThermalTransient(
         samples=tuple(samples), start_c=start_c, target_c=target_c

@@ -1,25 +1,43 @@
-"""Unified telemetry: structured tracing, cross-process metrics, exports.
+"""Unified telemetry: structured tracing, counter timelines, exports.
 
-The subsystem has four pieces, threaded through the simulator, the
+The subsystem has six pieces, threaded through the simulator, the
 power/thermal models, the sweep executor, and the CLI:
 
 * :mod:`repro.telemetry.trace` — ``Span``/``Tracer`` with monotonic
   timestamps, nested spans, and a zero-allocation no-op path when
   disabled (the default);
+* :mod:`repro.telemetry.timeseries` — ``CounterSampler``: bounded,
+  preallocated time-series sampling of named counter channels (power,
+  temperature, IPC, miss rates, bus occupancy, …) at kernel window
+  boundaries, power fixed-point iterations, thermal solver steps, and
+  governor decisions; same zero-alloc no-op discipline as the Tracer;
+* :mod:`repro.telemetry.alerts` — declarative alert rules (thermal
+  ceiling, power budget, IPC collapse, sampler overflow) evaluated over
+  per-channel statistics at run finalize;
 * :mod:`repro.telemetry.record` — picklable ``KernelRecord`` /
-  ``PointTelemetry`` records that carry worker-side kernel stats and
-  span trees back through the executor's outcome channel (and into the
-  result cache), so ``--profile`` accounts for parallel and warm-cache
-  sweeps;
+  ``PointTelemetry`` records that carry worker-side kernel stats, span
+  trees, and counter samples back through the executor's outcome
+  channel (and into the result cache), so ``--profile`` and timelines
+  account for parallel and warm-cache sweeps;
 * :mod:`repro.telemetry.manifest` — per-sweep run manifests plus JSONL
-  event/span logs under ``--telemetry-dir``, with schema validation;
+  event/span/timeline logs under ``--telemetry-dir``, with schema
+  validation;
 * :mod:`repro.telemetry.chrometrace` — Chrome ``trace_event`` JSON
-  export (``repro trace export``) and plain-text phase metrics
-  (``repro trace metrics``).
+  export with counter tracks (``repro trace export``) and plain-text
+  phase metrics (``repro trace metrics``).
 
-See docs/OBSERVABILITY.md for the artifact schema and span names.
+See docs/OBSERVABILITY.md for the artifact schema, span names, and
+channel names.
 """
 
+from repro.telemetry.alerts import (
+    DEFAULT_RULES,
+    AlertFinding,
+    AlertRule,
+    ChannelStats,
+    evaluate_rules,
+    stats_from_samples,
+)
 from repro.telemetry.chrometrace import (
     chrome_trace_document,
     export_chrome_trace,
@@ -27,6 +45,7 @@ from repro.telemetry.chrometrace import (
 )
 from repro.telemetry.manifest import (
     MANIFEST_SCHEMA,
+    TIMELINE_SCHEMA,
     TelemetryRun,
     git_sha,
     latest_run_dir,
@@ -34,6 +53,7 @@ from repro.telemetry.manifest import (
     load_events,
     load_manifest,
     load_spans,
+    load_timeline,
     resolve_run_dir,
     validate_run_dir,
 )
@@ -44,6 +64,16 @@ from repro.telemetry.record import (
     capturing,
     end_point_capture,
     record_kernel,
+)
+from repro.telemetry.timeseries import (
+    CounterSampler,
+    SampleRecord,
+    channel_values,
+    disable_sampling,
+    enable_sampling,
+    get_sampler,
+    sample,
+    set_sampler,
 )
 from repro.telemetry.trace import (
     NULL_SPAN,
@@ -59,21 +89,33 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "DEFAULT_RULES",
     "MANIFEST_SCHEMA",
     "NULL_SPAN",
+    "TIMELINE_SCHEMA",
+    "AlertFinding",
+    "AlertRule",
+    "ChannelStats",
+    "CounterSampler",
     "KernelRecord",
     "PointTelemetry",
+    "SampleRecord",
     "Span",
     "SpanRecord",
     "TelemetryRun",
     "Tracer",
     "begin_point_capture",
     "capturing",
+    "channel_values",
     "chrome_trace_document",
+    "disable_sampling",
     "disable_tracing",
+    "enable_sampling",
     "enable_tracing",
     "end_point_capture",
+    "evaluate_rules",
     "export_chrome_trace",
+    "get_sampler",
     "get_tracer",
     "git_sha",
     "latest_run_dir",
@@ -81,11 +123,15 @@ __all__ = [
     "load_events",
     "load_manifest",
     "load_spans",
+    "load_timeline",
     "metrics_table",
     "now_us",
     "record_kernel",
     "resolve_run_dir",
+    "sample",
+    "set_sampler",
     "set_tracer",
     "span",
+    "stats_from_samples",
     "validate_run_dir",
 ]

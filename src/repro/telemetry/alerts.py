@@ -1,0 +1,211 @@
+"""Declarative alert rules over sampled counter timelines.
+
+A rule names a channel and a condition over that channel's running
+statistics; findings are produced once per rule at evaluation time (end
+of a telemetry run, or on demand from a persisted ``timeline.jsonl``).
+Rules deliberately read *aggregated* channel statistics rather than raw
+samples so the :class:`~repro.telemetry.manifest.TelemetryRun` can fold
+samples into :class:`ChannelStats` incrementally and never hold a whole
+sweep's timeline in memory.
+
+Four rule kinds cover the failure modes the paper's trajectories make
+visible:
+
+``above``
+    The channel's maximum reached ``threshold`` — used for the
+    thermal-ceiling proximity and power-budget rules.
+``below``
+    The channel's minimum fell to ``threshold`` or under.
+``collapse``
+    The channel's minimum fell below ``threshold`` × its maximum — a
+    relative drop, used to catch IPC collapsing past the optimal
+    thread count regardless of the workload's absolute IPC.
+``overflow``
+    The sampler dropped readings (its bounded buffer filled); the
+    timeline is truncated and the other findings may under-report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative condition over a sampled channel."""
+
+    name: str
+    kind: str  # "above" | "below" | "collapse" | "overflow"
+    channel: str = ""
+    threshold: float = 0.0
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _RULE_KINDS:
+            raise ValueError(
+                f"unknown alert rule kind {self.kind!r}; expected one of {sorted(_RULE_KINDS)}"
+            )
+        if self.kind != "overflow" and not self.channel:
+            raise ValueError(f"alert rule {self.name!r} ({self.kind}) needs a channel")
+
+
+@dataclass(frozen=True)
+class AlertFinding:
+    """One fired rule, with the observed value that tripped it."""
+
+    rule: str
+    kind: str
+    channel: str
+    value: float
+    threshold: float
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "kind": self.kind,
+            "channel": self.channel,
+            "value": self.value,
+            "threshold": self.threshold,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ChannelStats:
+    """Running statistics for one channel; O(1) per observed sample."""
+
+    count: int = 0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+    total: float = 0.0
+    last: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        self.total += value
+        self.last = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean(),
+            "last": self.last,
+        }
+
+
+_RULE_KINDS = frozenset({"above", "below", "collapse", "overflow"})
+
+#: Built-in rules evaluated on every telemetry run.  Thresholds are
+#: indicative defaults for the paper's calibration: the thermal model
+#: is calibrated against a 100 °C junction ceiling, so 95 °C flags
+#: proximity; 60 W is the budget scale of the studied CMP envelope;
+#: IPC dropping under half its own peak marks the post-optimal-N
+#: collapse regardless of absolute throughput.
+DEFAULT_RULES: Tuple[AlertRule, ...] = (
+    AlertRule(
+        name="thermal-ceiling",
+        kind="above",
+        # Watches the *converged* fixed-point peak, not the raw
+        # ``thermal.peak_c`` solver channel: calibration probes and
+        # early fixed-point iterations legitimately overshoot before
+        # settling, and an alert that fires on every run says nothing.
+        channel="power.peak_temperature_c",
+        threshold=95.0,
+        message="peak temperature within 5 degC of the 100 degC calibration ceiling",
+    ),
+    AlertRule(
+        name="power-budget",
+        kind="above",
+        channel="power.total_w",
+        threshold=60.0,
+        message="chip power exceeded the 60 W sweep budget",
+    ),
+    AlertRule(
+        name="ipc-collapse",
+        kind="collapse",
+        channel="sim.ipc",
+        threshold=0.5,
+        message="per-window IPC fell below half its peak (past the optimal thread count)",
+    ),
+    AlertRule(
+        name="sampler-overflow",
+        kind="overflow",
+        message="counter sampler dropped readings; the timeline is truncated",
+    ),
+)
+
+
+def stats_from_samples(samples: Iterable[Any]) -> Dict[str, ChannelStats]:
+    """Fold SampleRecord-shaped readings into per-channel statistics."""
+    stats: Dict[str, ChannelStats] = {}
+    for record in samples:
+        entry = stats.get(record.channel)
+        if entry is None:
+            entry = stats[record.channel] = ChannelStats()
+        entry.observe(record.value)
+    return stats
+
+
+def evaluate_rules(
+    stats: Mapping[str, ChannelStats],
+    rules: Optional[Sequence[AlertRule]] = None,
+    dropped: int = 0,
+) -> List[AlertFinding]:
+    """Evaluate rules against channel statistics; one finding per fired rule.
+
+    ``dropped`` is the sampler's drop count (the ``overflow`` kind has
+    no channel to read it from).  Rules whose channel was never sampled
+    simply do not fire.
+    """
+    findings: List[AlertFinding] = []
+    for rule in DEFAULT_RULES if rules is None else rules:
+        if rule.kind == "overflow":
+            if dropped > rule.threshold:
+                findings.append(
+                    AlertFinding(
+                        rule=rule.name,
+                        kind=rule.kind,
+                        channel=rule.channel,
+                        value=float(dropped),
+                        threshold=rule.threshold,
+                        message=rule.message,
+                    )
+                )
+            continue
+        entry = stats.get(rule.channel)
+        if entry is None or not entry.count:
+            continue
+        fired = False
+        value = 0.0
+        if rule.kind == "above":
+            fired = entry.maximum >= rule.threshold
+            value = entry.maximum
+        elif rule.kind == "below":
+            fired = entry.minimum <= rule.threshold
+            value = entry.minimum
+        elif rule.kind == "collapse":
+            fired = entry.count >= 2 and entry.minimum < rule.threshold * entry.maximum
+            value = entry.minimum
+        if fired:
+            findings.append(
+                AlertFinding(
+                    rule=rule.name,
+                    kind=rule.kind,
+                    channel=rule.channel,
+                    value=value,
+                    threshold=rule.threshold,
+                    message=rule.message,
+                )
+            )
+    return findings

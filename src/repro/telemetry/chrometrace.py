@@ -9,7 +9,13 @@ The Chrome trace format (the JSON Array/Object format consumed by
 * one "X" event per sweep point (from ``events.jsonl``), on a dedicated
   ``points`` track per evaluating process, so the executor's fan-out and
   cache behaviour is visible at a glance,
-* "M" (metadata) events naming each process row.
+* one "C" (counter) event per timeline sample (from ``timeline.jsonl``),
+  which Perfetto renders as per-channel counter tracks — the sampled
+  power/thermal/IPC trajectories — aligned with the span rows,
+* "M" (metadata) events naming each process row with its executor lane
+  and the point indices it evaluated (the coordinator is named as such),
+  so a farm worker reads ``repro farm worker 1234 · points 3-5`` instead
+  of a bare pid.
 
 Timestamps are absolute wall-clock microseconds shared across worker
 processes (see :mod:`repro.telemetry.trace`); the exporter rebases them
@@ -21,12 +27,13 @@ from __future__ import annotations
 import json
 from collections import defaultdict
 from pathlib import Path
-from typing import Any, Dict, List, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.telemetry.manifest import (
     load_events,
     load_manifest,
     load_spans,
+    load_timeline,
 )
 from repro.units import KILO, MEGA
 
@@ -57,6 +64,59 @@ def _span_events(
         _span_events(child, pid, out)
 
 
+def _format_indices(indices: List[int], limit: int = 6) -> str:
+    """Compact a sorted index list into ranges: ``0-2,5,7-9``.
+
+    At most ``limit`` ranges are spelled out (a pool worker in a big
+    sweep may evaluate hundreds of points); the rest collapse to an
+    ellipsis so the Perfetto row label stays readable.
+    """
+    ranges: List[str] = []
+    start = previous = indices[0]
+    for index in indices[1:]:
+        if index == previous + 1:
+            previous = index
+            continue
+        ranges.append(str(start) if start == previous else f"{start}-{previous}")
+        start = previous = index
+    ranges.append(str(start) if start == previous else f"{start}-{previous}")
+    if len(ranges) > limit:
+        ranges = ranges[:limit] + ["…"]
+    return ",".join(ranges)
+
+
+def _process_names(
+    events: List[Dict[str, Any]], coordinator_pid: Optional[int]
+) -> Dict[int, str]:
+    """One display name per evaluating pid, from the point events."""
+    lanes: Dict[int, set] = defaultdict(set)
+    indices: Dict[int, List[int]] = defaultdict(list)
+    for event in events:
+        if event.get("event") != "point":
+            continue
+        pid = int(event.get("pid", 0))
+        lanes[pid].add(str(event.get("lane", "inline")))
+        if isinstance(event.get("index"), int):
+            indices[pid].append(event["index"])
+    names: Dict[int, str] = {}
+    for pid, pid_lanes in lanes.items():
+        # "cache" replays carry the original evaluation's pid; the lane
+        # that did the work (if recorded alongside) is the better label.
+        worked = sorted(pid_lanes - {"cache"}) or sorted(pid_lanes)
+        label = "+".join(worked)
+        if pid == coordinator_pid:
+            name = f"repro coordinator {pid}"
+        else:
+            name = f"repro {label} worker {pid}"
+        points = sorted(set(indices[pid]))
+        if points:
+            name += f" · points {_format_indices(points)}"
+        names[pid] = name
+    if coordinator_pid is not None and coordinator_pid not in names:
+        names[coordinator_pid] = f"repro coordinator {coordinator_pid}"
+    return names
+
+
 def chrome_trace_document(run_dir: PathLike) -> Dict[str, Any]:
     """Build the Chrome trace JSON document for one telemetry run."""
     run_dir = Path(run_dir)
@@ -66,7 +126,8 @@ def chrome_trace_document(run_dir: PathLike) -> Dict[str, Any]:
     for entry in load_spans(run_dir):
         _span_events(entry["span"], int(entry.get("pid", 0)), events)
 
-    for event in load_events(run_dir):
+    point_events = load_events(run_dir)
+    for event in point_events:
         if event.get("event") != "point" or not event.get("wall_s"):
             continue
         name = f"point[{event.get('index')}]"
@@ -82,19 +143,39 @@ def chrome_trace_document(run_dir: PathLike) -> Dict[str, Any]:
                 "args": {
                     "status": event.get("status"),
                     "cached": event.get("cached"),
+                    "lane": event.get("lane"),
                     "ops": event.get("ops"),
                     "key": event.get("key"),
                 },
             }
         )
 
-    # Rebase to the earliest timestamp so the trace starts near zero.
+    samples, _torn = load_timeline(run_dir)
+    for sample in samples:
+        events.append(
+            {
+                "name": str(sample.get("channel", "")),
+                "cat": "counter",
+                "ph": "C",
+                "pid": int(sample.get("pid", 0)),
+                "ts": float(sample.get("t_us", 0.0)),
+                "args": {"value": sample.get("value", 0.0)},
+            }
+        )
+
+    # Rebase to the earliest timestamp so the trace starts near zero
+    # ("C" counter events have no duration to round).
     if events:
         origin = min((e["ts"] for e in events if e["ts"] > 0), default=0.0)
         for event in events:
             event["ts"] = round(max(0.0, event["ts"] - origin), 3)
-            event["dur"] = round(event["dur"], 3)
+            if "dur" in event:
+                event["dur"] = round(event["dur"], 3)
 
+    coordinator_pid = manifest.get("coordinator_pid")
+    if not isinstance(coordinator_pid, int):
+        coordinator_pid = None
+    names = _process_names(point_events, coordinator_pid)
     pids = sorted({e["pid"] for e in events})
     metadata: List[Dict[str, Any]] = []
     for pid in pids:
@@ -104,7 +185,7 @@ def chrome_trace_document(run_dir: PathLike) -> Dict[str, Any]:
                 "ph": "M",
                 "pid": pid,
                 "tid": _SPAN_TID,
-                "args": {"name": f"repro pid {pid}"},
+                "args": {"name": names.get(pid, f"repro pid {pid}")},
             }
         )
         metadata.append(

@@ -9,14 +9,22 @@ directory ``DIR/<run_id>/`` containing
   events (index, cache key, status, cached flag, worker pid, wall time,
   op counts, start timestamp);
 * ``spans.jsonl`` — one completed span tree per line (see
-  :class:`~repro.telemetry.trace.SpanRecord`).
+  :class:`~repro.telemetry.trace.SpanRecord`);
+* ``timeline.jsonl`` — one sampled counter reading per line (see
+  :class:`~repro.telemetry.timeseries.SampleRecord`), attributed to the
+  sweep point that deposited it.  Created lazily on the first reading,
+  so sampling-off runs stay two-file; headed by a schema line and read
+  with the journal's torn-tail tolerance (a reading lost to a crash
+  mid-write costs that line, not the artifact).
 
 The manifest is written twice: once at creation (``status: "running"``,
 so a crashed sweep leaves evidence) and once by :meth:`TelemetryRun.finalize`
-(``status: "complete"`` plus totals).  :func:`validate_run_dir` checks a
-run directory against this schema — the CI telemetry job and the test
-suite both use it — and :func:`latest_run_dir` resolves the newest run
-under a ``--telemetry-dir`` (run ids sort chronologically).
+(``status: "complete"`` plus totals, per-channel statistics, and the
+findings of the :mod:`~repro.telemetry.alerts` rules).
+:func:`validate_run_dir` checks a run directory against this schema —
+the CI telemetry job and the test suite both use it — and
+:func:`latest_run_dir` resolves the newest run under a
+``--telemetry-dir`` (run ids sort chronologically).
 """
 
 from __future__ import annotations
@@ -26,15 +34,18 @@ import os
 import platform
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, TextIO, Union
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.telemetry.alerts import AlertRule, ChannelStats, evaluate_rules
 from repro.telemetry.record import PointTelemetry
+from repro.telemetry.timeseries import SampleRecord, get_sampler
 from repro.telemetry.trace import SpanRecord, get_tracer
 
 PathLike = Union[str, Path]
 
 MANIFEST_SCHEMA = "repro-telemetry-v1"
+TIMELINE_SCHEMA = "repro-timeline-v1"
 
 #: Keys every finalized manifest must carry, with their expected types.
 _MANIFEST_REQUIRED = {
@@ -143,12 +154,22 @@ class TelemetryRun:
         }
         self.kernel["cached_runs"] = 0
         self.spans_written = 0
+        self.samples_written = 0
+        #: Per-channel running statistics over every recorded sample;
+        #: what the alert rules are evaluated against at finalize.
+        self.channel_stats: Dict[str, ChannelStats] = {}
+        #: ``None`` means the built-in :data:`~repro.telemetry.alerts.DEFAULT_RULES`.
+        self.alert_rules: Optional[Sequence[AlertRule]] = None
+        self.alerts: List[Dict[str, Any]] = []
         self._events: TextIO = (self.directory / "events.jsonl").open(
             "a", encoding="utf-8"
         )
         self._spans: TextIO = (self.directory / "spans.jsonl").open(
             "a", encoding="utf-8"
         )
+        #: Opened lazily by :meth:`record_samples` so sampling-off runs
+        #: do not grow an empty third artifact.
+        self._timeline: Optional[TextIO] = None
         self._write_manifest(status="running")
 
     # -- recording -----------------------------------------------------------
@@ -186,6 +207,7 @@ class TelemetryRun:
             "key": outcome.key,
             "status": "ok" if outcome.failure is None else "error",
             "cached": bool(outcome.cached),
+            "lane": str(getattr(outcome, "lane", "inline")),
             "attempts": attempts,
             "pid": telemetry.pid if telemetry else 0,
             "start_us": telemetry.start_us if telemetry else 0.0,
@@ -216,6 +238,12 @@ class TelemetryRun:
                 self.kernel["barrier_ops"] += kernel.barrier_ops
                 self.kernel["sim_wall_s"] += kernel.sim_wall_s
             self.record_spans(telemetry.spans, pid=telemetry.pid)
+            self.record_samples(
+                telemetry.samples,
+                point=outcome.index,
+                pid=telemetry.pid,
+                cached=bool(outcome.cached),
+            )
 
     def record_spans(
         self, spans: Sequence[SpanRecord], pid: Optional[int] = None
@@ -228,6 +256,42 @@ class TelemetryRun:
             self.spans_written += 1
         if spans:
             self._spans.flush()
+
+    def record_samples(
+        self,
+        samples: Sequence[SampleRecord],
+        point: Optional[int] = None,
+        pid: Optional[int] = None,
+        cached: bool = False,
+    ) -> None:
+        """Append counter readings to ``timeline.jsonl``.
+
+        ``point`` is the sweep-point index the readings belong to
+        (``None`` for readings taken outside any point — context
+        calibration, directly-run governor loops).  Every reading also
+        feeds the run's per-channel statistics, which is what the alert
+        rules see at finalize.
+        """
+        if not samples:
+            return
+        pid = os.getpid() if pid is None else pid
+        if self._timeline is None:
+            self._timeline = (self.directory / "timeline.jsonl").open(
+                "a", encoding="utf-8"
+            )
+            header = {"schema": TIMELINE_SCHEMA, "run_id": self.run_id}
+            self._timeline.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in samples:
+            line = {"event": "sample", "point": point, "pid": pid,
+                    "cached": cached}
+            line.update(record.to_dict())
+            self._timeline.write(json.dumps(line, sort_keys=True) + "\n")
+            self.samples_written += 1
+            stats = self.channel_stats.get(record.channel)
+            if stats is None:
+                stats = self.channel_stats[record.channel] = ChannelStats()
+            stats.observe(record.value)
+        self._timeline.flush()
 
     def _event(self, event: Dict[str, Any]) -> None:
         self._events.write(json.dumps(event, sort_keys=True) + "\n")
@@ -242,14 +306,26 @@ class TelemetryRun:
     ) -> Path:
         """Close the run: drain the process tracer, write final manifest.
 
-        ``executor`` (a ``SweepExecutor``-shaped object) contributes its
-        executor/cache counters to the manifest when given.  Idempotent.
+        Also drains the coordinator's counter sampler (readings taken
+        outside any point-capture window, e.g. during context
+        calibration) and evaluates the alert rules over the whole run's
+        channel statistics.  ``executor`` (a ``SweepExecutor``-shaped
+        object) contributes its executor/cache counters to the manifest
+        when given.  Idempotent.
         """
         if self.finalized:
             return self.directory / "manifest.json"
         if drain_tracer:
             tracer = get_tracer()
             self.record_spans(tracer.drain_records())
+        sampler = get_sampler()
+        self.record_samples(sampler.drain_records())
+        self.alerts = [
+            finding.to_dict()
+            for finding in evaluate_rules(
+                self.channel_stats, self.alert_rules, dropped=sampler.dropped
+            )
+        ]
         extra: Dict[str, Any] = {}
         if executor is not None:
             stats = executor.stats
@@ -272,6 +348,8 @@ class TelemetryRun:
         path = self._write_manifest(status="complete", extra=extra)
         self._events.close()
         self._spans.close()
+        if self._timeline is not None:
+            self._timeline.close()
         self.finalized = True
         return path
 
@@ -292,12 +370,22 @@ class TelemetryRun:
             "resume": self.resume,
             "status": status,
             "wall_s": round(time.perf_counter() - self._started, 6),
+            "coordinator_pid": os.getpid(),
             "points": dict(self.points),
             "kernel": dict(self.kernel),
             "spans": {
                 "written": self.spans_written,
                 "dropped": tracer.dropped,
             },
+            "timeline": {
+                "written": self.samples_written,
+                "dropped": get_sampler().dropped,
+                "channels": {
+                    name: stats.to_dict()
+                    for name, stats in sorted(self.channel_stats.items())
+                },
+            },
+            "alerts": list(self.alerts),
         }
         if extra:
             document.update(extra)
@@ -387,6 +475,49 @@ def load_spans(run_dir: PathLike) -> List[Dict[str, Any]]:
     return _load_jsonl(Path(run_dir) / "spans.jsonl")
 
 
+def load_timeline(run_dir: PathLike) -> Tuple[List[Dict[str, Any]], int]:
+    """The run's ``timeline.jsonl`` sample entries, torn-tail tolerant.
+
+    Returns ``(entries, skipped)``: parsed sample lines in emission
+    order, and the count of lines that failed to parse (a crash
+    mid-write tears at most the tail line — same convention as the
+    sweep journal, and unlike :func:`load_events` the timeline loader
+    never refuses the whole artifact over one lost reading).  A missing
+    file is an empty timeline; a present file must lead with the
+    :data:`TIMELINE_SCHEMA` header line.
+    """
+    path = Path(run_dir) / "timeline.jsonl"
+    if not path.exists():
+        return [], 0
+    entries: List[Dict[str, Any]] = []
+    skipped = 0
+    header_seen = False
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(entry, dict):
+                skipped += 1
+                continue
+            if not header_seen:
+                header_seen = True
+                if entry.get("schema") != TIMELINE_SCHEMA:
+                    raise ConfigurationError(
+                        f"{path}: timeline schema {entry.get('schema')!r} != "
+                        f"supported {TIMELINE_SCHEMA!r}"
+                    )
+                continue
+            entries.append(entry)
+    if not header_seen:
+        raise ConfigurationError(f"{path}: missing timeline header line")
+    return entries, skipped
+
+
 def _check_span_tree(node: Any, where: str) -> int:
     if not isinstance(node, dict):
         raise ConfigurationError(f"{where}: span is not an object")
@@ -466,4 +597,74 @@ def validate_run_dir(run_dir: PathLike) -> Dict[str, Any]:
             entry.get("span"), f"{run_dir}/spans.jsonl:{number}"
         )
 
-    return {"manifest": manifest, "points": point_events, "spans": spans}
+    samples, torn = _validate_timeline(run_dir, manifest)
+
+    return {
+        "manifest": manifest,
+        "points": point_events,
+        "spans": spans,
+        "samples": samples,
+        "torn_samples": torn,
+    }
+
+
+_SAMPLE_ENTRY_REQUIRED = {
+    "event": str,
+    "channel": str,
+    "t_us": (int, float),
+    "value": (int, float),
+    "pid": int,
+    "cached": bool,
+}
+
+
+def _validate_timeline(run_dir: Path, manifest: Dict[str, Any]) -> Tuple[int, int]:
+    """Check ``timeline.jsonl`` against the manifest's declaration.
+
+    A manifest that counts written samples while the file is missing is
+    an error (the artifact was lost); a file torn mid-line is not — the
+    parseable entries just have to be well-formed samples, mirroring
+    the journal's crash-tolerance convention.
+    """
+    declared = manifest.get("timeline")
+    path = run_dir / "timeline.jsonl"
+    if declared is not None:
+        if not isinstance(declared, dict) or not isinstance(
+            declared.get("written"), int
+        ):
+            raise ConfigurationError(
+                f"{run_dir}/manifest.json: malformed timeline declaration"
+            )
+        if declared["written"] > 0 and not path.exists():
+            raise ConfigurationError(
+                f"{run_dir}: manifest declares {declared['written']} timeline "
+                "samples but timeline.jsonl is missing"
+            )
+    entries, torn = load_timeline(run_dir)
+    for number, entry in enumerate(entries, start=1):
+        for key, kinds in _SAMPLE_ENTRY_REQUIRED.items():
+            if not isinstance(entry.get(key), kinds):
+                raise ConfigurationError(
+                    f"{run_dir}/timeline.jsonl: sample {number}: "
+                    f"missing/invalid {key!r}"
+                )
+        if entry["event"] != "sample":
+            raise ConfigurationError(
+                f"{run_dir}/timeline.jsonl: sample {number}: "
+                f"bad event {entry['event']!r}"
+            )
+        if entry.get("point") is not None and not isinstance(entry["point"], int):
+            raise ConfigurationError(
+                f"{run_dir}/timeline.jsonl: sample {number}: bad point index"
+            )
+    if (
+        declared is not None
+        and manifest.get("status") == "complete"
+        and torn == 0
+        and declared["written"] != len(entries)
+    ):
+        raise ConfigurationError(
+            f"{run_dir}: manifest counts {declared['written']} timeline "
+            f"samples but timeline.jsonl logs {len(entries)}"
+        )
+    return len(entries), torn

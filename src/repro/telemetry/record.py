@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Tuple
 
+from repro.telemetry.timeseries import SampleRecord
 from repro.telemetry.trace import SpanRecord
 
 
@@ -86,6 +87,10 @@ class PointTelemetry:
     #: Span trees completed during the evaluation (empty when tracing
     #: was disabled in the evaluating process).
     spans: Tuple[SpanRecord, ...] = ()
+    #: Counter readings deposited during the evaluation (empty when
+    #: sampling was disabled).  Unlike spans these persist in the result
+    #: cache, so warm-cache reruns replay the original timeline.
+    samples: Tuple[SampleRecord, ...] = ()
 
     @property
     def total_ops(self) -> int:

@@ -11,6 +11,7 @@ from repro.harness.governor import (
     WindowMeasurement,
     run_governed,
 )
+from repro.telemetry.timeseries import CounterSampler, channel_values, set_sampler
 from repro.workloads import workload_by_name
 
 
@@ -111,3 +112,24 @@ class TestRunGoverned:
             run_governed(
                 context, workload_by_name("Radix"), 2, gov, barriers_per_window=0
             )
+
+    def test_samples_one_reading_per_decision(self, context):
+        sampler = CounterSampler(enabled=True)
+        previous = set_sampler(sampler)
+        try:
+            run = run_governed(
+                context, workload_by_name("Radix"), 2, MemorySlackGovernor()
+            )
+        finally:
+            set_sampler(previous)
+        series = channel_values(sampler.records())
+        decisions = len(run.windows)
+        assert len(series["governor.frequency_ghz"]) == decisions
+        assert len(series["governor.power_w"]) == decisions
+        assert len(series["governor.stall_fraction"]) == decisions
+        # Each reading is the frequency chosen for the *next* window, so
+        # all but the last line up against the realised trajectory.
+        assert series["governor.frequency_ghz"][:-1] == [
+            f / 1e9 for f in run.frequency_trajectory[1:]
+        ]
+        assert series["governor.power_w"] == [w.power_w for w in run.windows]

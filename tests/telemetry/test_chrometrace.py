@@ -1,15 +1,19 @@
 """Tests for the Chrome trace exporter and the plain-text metrics table."""
 
 import json
+import os
 
 from repro.harness.executor import PointOutcome
 from repro.telemetry.chrometrace import (
+    _format_indices,
+    _process_names,
     chrome_trace_document,
     export_chrome_trace,
     metrics_table,
 )
 from repro.telemetry.manifest import TelemetryRun
 from repro.telemetry.record import KernelRecord, PointTelemetry
+from repro.telemetry.timeseries import SampleRecord
 from repro.telemetry.trace import SpanRecord
 
 
@@ -138,3 +142,119 @@ class TestMetricsTable:
         run = TelemetryRun(tmp_path)
         run.finalize()
         assert "no spans recorded" in metrics_table(run.directory)
+
+
+def sampled_run(tmp_path):
+    """A finalized run with one pool-lane point carrying counter samples."""
+    run = TelemetryRun(tmp_path, command="fig3")
+    telemetry = PointTelemetry(
+        pid=111,
+        start_us=990.0,
+        wall_s=0.0008,
+        kernels=(),
+        samples=(
+            SampleRecord(channel="sim.ipc", t_us=1_000.0, value=1.5),
+            SampleRecord(channel="power.total_w", t_us=1_200.0, value=41.0),
+        ),
+    )
+    run.record_point(
+        PointOutcome(index=0, key="k0", value=1, telemetry=telemetry, lane="pool")
+    )
+    run.record_samples(
+        [SampleRecord(channel="thermal.peak_c", t_us=1_400.0, value=55.0)],
+        point=None,
+    )
+    run.finalize()
+    return run
+
+
+class TestCounterTracks:
+    def test_samples_become_counter_events(self, tmp_path):
+        run = sampled_run(tmp_path)
+        events = chrome_trace_document(run.directory)["traceEvents"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert {e["name"] for e in counters} == {
+            "sim.ipc",
+            "power.total_w",
+            "thermal.peak_c",
+        }
+        for event in counters:
+            assert event["cat"] == "counter"
+            assert "dur" not in event
+            assert isinstance(event["args"]["value"], float)
+        by_name = {e["name"]: e for e in counters}
+        assert by_name["sim.ipc"]["pid"] == 111
+        assert by_name["sim.ipc"]["args"]["value"] == 1.5
+        assert by_name["thermal.peak_c"]["pid"] == os.getpid()
+
+    def test_counter_timestamps_share_the_rebased_timebase(self, tmp_path):
+        run = sampled_run(tmp_path)
+        events = chrome_trace_document(run.directory)["traceEvents"]
+        timed = [e for e in events if e["ph"] in ("X", "C")]
+        assert min(e["ts"] for e in timed) == 0.0
+        assert all(e["ts"] >= 0 for e in timed)
+        by_name = {e["name"]: e for e in timed if e["ph"] == "C"}
+        # Emission order survives the rebase.
+        assert (
+            by_name["sim.ipc"]["ts"]
+            < by_name["power.total_w"]["ts"]
+            < by_name["thermal.peak_c"]["ts"]
+        )
+
+    def test_export_round_trips_counter_events(self, tmp_path):
+        run = sampled_run(tmp_path)
+        output = tmp_path / "trace.json"
+        export_chrome_trace(run.directory, output)
+        parsed = json.loads(output.read_text())
+        assert any(e["ph"] == "C" for e in parsed["traceEvents"])
+
+
+class TestFormatIndices:
+    def test_singletons_and_ranges(self):
+        assert _format_indices([3]) == "3"
+        assert _format_indices([0, 1, 2, 5, 7, 8, 9]) == "0-2,5,7-9"
+        assert _format_indices(list(range(40))) == "0-39"
+
+    def test_long_lists_collapse_to_an_ellipsis(self):
+        evens = list(range(0, 16, 2))  # eight disjoint ranges
+        assert _format_indices(evens, limit=6) == "0,2,4,6,8,10,…"
+
+
+class TestProcessNames:
+    def point_event(self, pid, index, lane):
+        return {"event": "point", "pid": pid, "index": index, "lane": lane}
+
+    def test_workers_show_lane_and_point_ranges(self):
+        events = [
+            self.point_event(111, 0, "pool"),
+            self.point_event(111, 1, "pool"),
+            self.point_event(222, 2, "pool"),
+        ]
+        names = _process_names(events, coordinator_pid=999)
+        assert names[111] == "repro pool worker 111 · points 0-1"
+        assert names[222] == "repro pool worker 222 · points 2"
+        assert names[999] == "repro coordinator 999"
+
+    def test_cache_lane_defers_to_the_working_lane(self):
+        events = [
+            self.point_event(111, 0, "farm"),
+            self.point_event(111, 1, "cache"),
+        ]
+        names = _process_names(events, coordinator_pid=None)
+        assert names[111] == "repro farm worker 111 · points 0-1"
+
+    def test_pure_cache_replays_keep_the_cache_label(self):
+        events = [self.point_event(111, 0, "cache")]
+        names = _process_names(events, coordinator_pid=None)
+        assert names[111] == "repro cache worker 111 · points 0"
+
+    def test_document_metadata_uses_the_lane_names(self, tmp_path):
+        run = sampled_run(tmp_path)
+        events = chrome_trace_document(run.directory)["traceEvents"]
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[111] == "repro pool worker 111 · points 0"
+        assert names[os.getpid()] == f"repro coordinator {os.getpid()}"

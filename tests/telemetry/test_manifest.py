@@ -1,6 +1,7 @@
 """Tests for run manifests, JSONL logs, and their validation."""
 
 import json
+import os
 
 import pytest
 
@@ -8,6 +9,7 @@ from repro.errors import ConfigurationError
 from repro.harness.executor import PointOutcome, SweepFailure
 from repro.telemetry.manifest import (
     MANIFEST_SCHEMA,
+    TIMELINE_SCHEMA,
     TelemetryRun,
     git_sha,
     latest_run_dir,
@@ -15,10 +17,17 @@ from repro.telemetry.manifest import (
     load_events,
     load_manifest,
     load_spans,
+    load_timeline,
     resolve_run_dir,
     validate_run_dir,
 )
 from repro.telemetry.record import KernelRecord, PointTelemetry
+from repro.telemetry.timeseries import (
+    CounterSampler,
+    SampleRecord,
+    get_sampler,
+    set_sampler,
+)
 from repro.telemetry.trace import SpanRecord
 
 
@@ -36,13 +45,17 @@ def kernel_record(total_ops=100):
     )
 
 
-def outcome(index=0, cached=False, failed=False, kernels=1, spans=()):
+def outcome(
+    index=0, cached=False, failed=False, kernels=1, spans=(), samples=(),
+    lane="inline",
+):
     telemetry = PointTelemetry(
         pid=4242,
         start_us=1e12,
         wall_s=0.5,
         kernels=tuple(kernel_record() for _ in range(kernels)),
         spans=tuple(spans),
+        samples=tuple(samples),
     )
     failure = SweepFailure(error_type="SimulationError", message="x") if failed else None
     return PointOutcome(
@@ -52,6 +65,7 @@ def outcome(index=0, cached=False, failed=False, kernels=1, spans=()):
         failure=failure,
         cached=cached,
         telemetry=telemetry,
+        lane=lane,
     )
 
 
@@ -318,3 +332,171 @@ class TestFaultToleranceTelemetry:
         run.finalize()
         summary = validate_run_dir(run.directory)
         assert summary["points"] == 1
+
+
+def samples_for(point, channel="power.total_w", values=(40.0,)):
+    return tuple(
+        SampleRecord(channel=channel, t_us=1e12 + point * 10 + i, value=value)
+        for i, value in enumerate(values)
+    )
+
+
+class TestTimeline:
+    @pytest.fixture(autouse=True)
+    def restore_global_sampler(self):
+        previous = get_sampler()
+        yield
+        set_sampler(previous)
+
+    def test_sampling_off_runs_write_no_timeline_file(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig3")
+        run.record_point(outcome(0))
+        run.finalize()
+        assert not (run.directory / "timeline.jsonl").exists()
+        assert load_timeline(run.directory) == ([], 0)
+        manifest = load_manifest(run.directory)
+        assert manifest["timeline"]["written"] == 0
+        assert manifest["alerts"] == []
+
+    def test_point_samples_round_trip_with_attribution(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig3")
+        run.record_point(
+            outcome(0, samples=samples_for(0, values=(40.0, 41.0)), lane="pool")
+        )
+        run.record_point(
+            outcome(1, cached=True, samples=samples_for(1, values=(39.0,)))
+        )
+        run.finalize()
+
+        lines = (run.directory / "timeline.jsonl").read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header == {"schema": TIMELINE_SCHEMA, "run_id": run.run_id}
+
+        entries, torn = load_timeline(run.directory)
+        assert torn == 0
+        assert [e["point"] for e in entries] == [0, 0, 1]
+        assert [e["cached"] for e in entries] == [False, False, True]
+        assert all(e["pid"] == 4242 for e in entries)
+        assert [e["value"] for e in entries] == [40.0, 41.0, 39.0]
+
+        manifest = load_manifest(run.directory)
+        assert manifest["coordinator_pid"] == os.getpid()
+        assert manifest["timeline"]["written"] == 3
+        stats = manifest["timeline"]["channels"]["power.total_w"]
+        assert stats["count"] == 3
+        assert stats["min"] == 39.0 and stats["max"] == 41.0
+
+    def test_events_carry_the_executor_lane(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig3")
+        run.record_point(outcome(0, lane="farm"))
+        run.record_point(outcome(1, cached=True, lane="cache"))
+        run.finalize()
+        events = load_events(run.directory)
+        assert [e["lane"] for e in events] == ["farm", "cache"]
+
+    def test_finalize_drains_coordinator_readings_as_pointless(self, tmp_path):
+        sampler = CounterSampler(enabled=True, max_samples=8)
+        set_sampler(sampler)
+        sampler.sample("calibration.probe", 1.5)
+        run = TelemetryRun(tmp_path, command="fig3")
+        run.finalize()
+        (entry,) = load_timeline(run.directory)[0]
+        assert entry["point"] is None
+        assert entry["channel"] == "calibration.probe"
+        assert entry["pid"] == os.getpid()
+        assert sampler.count == 0  # drained
+
+    def test_seeded_violations_land_as_manifest_alerts(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig3")
+        run.record_point(
+            outcome(
+                0,
+                samples=samples_for(
+                    0, channel="power.peak_temperature_c", values=(60.0, 97.0)
+                ),
+            )
+        )
+        run.record_point(
+            outcome(
+                1, samples=samples_for(1, channel="power.total_w", values=(65.0,))
+            )
+        )
+        run.finalize()
+        manifest = load_manifest(run.directory)
+        assert {a["rule"] for a in manifest["alerts"]} == {
+            "thermal-ceiling",
+            "power-budget",
+        }
+        by_rule = {a["rule"]: a for a in manifest["alerts"]}
+        assert by_rule["thermal-ceiling"]["value"] == 97.0
+        assert by_rule["power-budget"]["threshold"] == 60.0
+
+    def test_overflow_alert_reads_the_global_samplers_drop_count(self, tmp_path):
+        sampler = CounterSampler(enabled=True, max_samples=1)
+        set_sampler(sampler)
+        sampler.sample("c", 1.0)
+        sampler.sample("c", 2.0)  # dropped
+        run = TelemetryRun(tmp_path, command="fig3")
+        run.finalize()
+        manifest = load_manifest(run.directory)
+        assert manifest["timeline"]["dropped"] == 1
+        assert "sampler-overflow" in {a["rule"] for a in manifest["alerts"]}
+
+
+class TestTimelineValidation:
+    def make_run(self, tmp_path):
+        run = TelemetryRun(tmp_path, command="fig3")
+        run.record_point(outcome(0, samples=samples_for(0, values=(40.0, 41.0))))
+        run.finalize()
+        return run
+
+    def test_validate_counts_samples(self, tmp_path):
+        run = self.make_run(tmp_path)
+        summary = validate_run_dir(run.directory)
+        assert summary["samples"] == 2
+        assert summary["torn_samples"] == 0
+
+    def test_torn_tail_is_tolerated_and_counted(self, tmp_path):
+        run = self.make_run(tmp_path)
+        with (run.directory / "timeline.jsonl").open("a") as handle:
+            handle.write('{"event": "sample", "chan')  # crash mid-write
+        summary = validate_run_dir(run.directory)
+        assert summary["samples"] == 2
+        assert summary["torn_samples"] == 1
+
+    def test_declared_timeline_without_file_is_an_error(self, tmp_path):
+        run = self.make_run(tmp_path)
+        (run.directory / "timeline.jsonl").unlink()
+        with pytest.raises(ConfigurationError, match="timeline.jsonl is missing"):
+            validate_run_dir(run.directory)
+
+    def test_complete_run_with_count_mismatch_is_an_error(self, tmp_path):
+        run = self.make_run(tmp_path)
+        path = run.directory / "timeline.jsonl"
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop one sample
+        with pytest.raises(ConfigurationError, match="timeline.jsonl logs 1"):
+            validate_run_dir(run.directory)
+
+    def test_malformed_sample_entry_is_an_error(self, tmp_path):
+        run = self.make_run(tmp_path)
+        with (run.directory / "timeline.jsonl").open("a") as handle:
+            handle.write(json.dumps({"event": "sample", "channel": "c"}) + "\n")
+        with pytest.raises(ConfigurationError, match="missing/invalid"):
+            validate_run_dir(run.directory)
+
+    def test_foreign_timeline_schema_is_rejected(self, tmp_path):
+        run = self.make_run(tmp_path)
+        path = run.directory / "timeline.jsonl"
+        lines = path.read_text().splitlines()
+        lines[0] = json.dumps({"schema": "someone-elses-v9"})
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="timeline schema"):
+            load_timeline(run.directory)
+
+    def test_headerless_timeline_is_rejected(self, tmp_path):
+        run = self.make_run(tmp_path)
+        path = run.directory / "timeline.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ConfigurationError, match="missing timeline header"):
+            load_timeline(run.directory)

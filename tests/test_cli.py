@@ -64,6 +64,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "export"])  # DIR required
 
+    def test_trace_timeline_flags(self):
+        args = build_parser().parse_args(
+            [
+                "trace", "timeline", "--telemetry-dir", "t",
+                "--channel", "sim.ipc", "--channel", "power.total_w",
+                "--width", "20",
+            ]
+        )
+        assert args.trace_command == "timeline"
+        assert args.channel == ["sim.ipc", "power.total_w"]
+        assert args.width == 20
+        defaults = build_parser().parse_args(
+            ["trace", "timeline", "--telemetry-dir", "t"]
+        )
+        assert defaults.channel is None and defaults.width == 60
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -146,3 +162,85 @@ class TestCommands:
         assert args.analytical_only
         args = build_parser().parse_args(["verify", "--scale", "0.3"])
         assert args.scale == 0.3
+
+
+class TestTraceTimelineCommand:
+    @pytest.fixture(autouse=True)
+    def restore_telemetry_state(self):
+        """--telemetry-dir enables tracing/sampling; undo it afterwards."""
+        from repro.telemetry.timeseries import get_sampler, set_sampler
+        from repro.telemetry.trace import get_tracer, set_tracer
+
+        sampler, tracer = get_sampler(), get_tracer()
+        yield
+        set_sampler(sampler)
+        set_tracer(tracer)
+
+    def test_timeline_renders_sparklines_and_alerts(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "fig3", "--apps", "Barnes", "--scale", "0.05",
+                    "--telemetry-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+        assert main(["trace", "timeline", "--telemetry-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sim.ipc" in out and "power.total_w" in out
+        assert "n=" in out
+        assert "alerts" in out
+
+        # --channel filters to the named series.
+        assert (
+            main(
+                [
+                    "trace", "timeline", "--telemetry-dir", str(tmp_path),
+                    "--channel", "sim.ipc",
+                ]
+            )
+            == 0
+        )
+        filtered = capsys.readouterr().out
+        assert "sim.ipc" in filtered and "power.total_w" not in filtered
+
+        # Unknown channels fail with the sampled list in the message.
+        assert (
+            main(
+                [
+                    "trace", "timeline", "--telemetry-dir", str(tmp_path),
+                    "--channel", "no.such.channel",
+                ]
+            )
+            == 1
+        )
+        assert "no samples for channel(s)" in capsys.readouterr().err
+
+        # validate counts the timeline; export carries counter tracks.
+        assert main(["trace", "validate", "--telemetry-dir", str(tmp_path)]) == 0
+        assert "timeline samples" in capsys.readouterr().out
+        output = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace", "export", "--telemetry-dir", str(tmp_path),
+                    "--output", str(output),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        import json
+
+        events = json.loads(output.read_text())["traceEvents"]
+        assert any(e["ph"] == "C" for e in events)
+
+    def test_timeline_without_sampling_says_so(self, capsys, tmp_path):
+        from repro.telemetry.manifest import TelemetryRun
+
+        TelemetryRun(tmp_path, command="fig3").finalize()
+        assert main(["trace", "timeline", "--telemetry-dir", str(tmp_path)]) == 0
+        assert "no timeline samples" in capsys.readouterr().out
