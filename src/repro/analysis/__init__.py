@@ -1,18 +1,30 @@
 """Static invariant analysis for the repro tree (``repro check``).
 
-Four checker families guard the properties the reproduction's tests
+Seven checker families guard the properties the reproduction's tests
 assume but cannot economically re-verify on every run:
 
 * **determinism** — simulation/model code must not read wall clocks,
   draw unseeded randomness, or iterate unordered collections where
   order reaches results (bitwise-identical reruns are a tier-1
-  invariant);
+  invariant); transitive DET-* findings follow the call graph to
+  helpers defined outside the scoped trees;
 * **units** — SI base units internally, with conversions through
   :mod:`repro.units` named constants only;
+* **dimensions** — interprocedural dimensional analysis: physical
+  units as exponent vectors propagated through arithmetic and return
+  values (``power * time`` unifies with J; GHz + Hz is flagged);
 * **hotpath** — functions marked ``# repro: hot`` stay allocation-
   and dispatch-free (the PR 2 fast-path contract);
 * **picklability** — everything crossing the executor outcome channel
-  or the result cache stays pickle-stable.
+  or the result cache stays pickle-stable;
+* **forksafety** — functions reachable from executor worker entry
+  points must not touch module-level mutable state that diverges
+  between the inline/pool/farm lanes;
+* **suppressions** — inline ``# repro: allow[...]`` comments that no
+  longer match a finding are themselves flagged (ALLOW-UNUSED).
+
+The interprocedural passes ride on :mod:`repro.analysis.flow` — a
+name-resolved call graph plus a worklist dataflow fixpoint.
 
 Public API::
 
@@ -34,6 +46,12 @@ from repro.analysis.baseline import (
     load_baseline,
     save_baseline,
 )
+from repro.analysis.changed import (
+    ChangedLinesError,
+    changed_lines,
+    gate_findings,
+    parse_diff,
+)
 from repro.analysis.findings import (
     SEVERITIES,
     SEVERITY_ERROR,
@@ -54,6 +72,12 @@ from repro.analysis.runner import (
     rule_by_id,
     validate_report_document,
 )
+from repro.analysis.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    to_sarif,
+    validate_sarif_document,
+)
 from repro.analysis.source import SourceError, SourceFile, load_source_file
 
 __all__ = [
@@ -61,6 +85,9 @@ __all__ = [
     "REPORT_SCHEMA",
     "RULES",
     "RULE_IDS",
+    "SARIF_SCHEMA_URI",
+    "SARIF_VERSION",
+    "ChangedLinesError",
     "SEVERITIES",
     "SEVERITY_ERROR",
     "SEVERITY_WARNING",
@@ -79,11 +106,16 @@ __all__ = [
     "baseline_from_document",
     "baseline_from_findings",
     "build_index",
+    "changed_lines",
     "default_baseline_path",
     "format_text",
+    "gate_findings",
     "load_baseline",
     "load_source_file",
+    "parse_diff",
     "rule_by_id",
     "save_baseline",
+    "to_sarif",
     "validate_report_document",
+    "validate_sarif_document",
 ]

@@ -1,0 +1,115 @@
+"""Incremental gating: restrict findings to lines changed since a ref.
+
+``repro check --changed[=REF]`` keeps the full-tree analysis (the
+interprocedural passes *need* the whole tree — a diff-only parse would
+miss the call graph) but gates the exit code on findings whose anchor
+line was added or edited since ``REF`` (default ``HEAD``).  Pre-commit
+hooks and PR checks stay fast to act on without letting the author of
+an unrelated line inherit the whole backlog.
+
+The changed-line map comes from ``git diff --unified=0 --relative``
+run inside the analyzed root, parsed from the unified-diff headers:
+``+++ b/<path>`` names the post-image file, each ``@@ -a,b +c,d @@``
+hunk contributes new-side lines ``[c, c+d)``.  Added files are wholly
+covered by their single hunk.  Parse *errors* in changed files always
+gate — a file that stopped parsing cannot be line-attributed.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceError
+
+#: ``git diff`` hunk header: ``@@ -a[,b] +c[,d] @@``.
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(?P<start>\d+)(?:,(?P<count>\d+))? @@")
+
+
+class ChangedLinesError(RuntimeError):
+    """``git diff`` could not produce a changed-line map."""
+
+
+def parse_diff(diff_text: str) -> Dict[str, Set[int]]:
+    """``path → changed new-side lines`` from ``-U0`` unified diff text."""
+    changed: Dict[str, Set[int]] = {}
+    current: Optional[str] = None
+    for line in diff_text.splitlines():
+        if line.startswith("+++ "):
+            target = line[4:].strip()
+            if target == "/dev/null":
+                current = None  # deletion: nothing on the new side
+                continue
+            if target.startswith("b/"):
+                target = target[2:]
+            current = target
+            changed.setdefault(current, set())
+            continue
+        if current is None:
+            continue
+        match = _HUNK_RE.match(line)
+        if match is None:
+            continue
+        start = int(match.group("start"))
+        count = int(match.group("count") or "1")
+        changed[current].update(range(start, start + count))
+    # Pure-deletion hunks leave empty sets; the file still changed (a
+    # finding elsewhere in it is not *new*, but a parse error is).
+    return changed
+
+
+def changed_lines(root: Path, ref: str) -> Dict[str, Set[int]]:
+    """Changed-line map of the tree under ``root`` since ``ref``.
+
+    Paths are relative to ``root`` (``--relative``), matching finding
+    paths.  Raises :class:`ChangedLinesError` outside a git work tree
+    or on an unknown ref.
+    """
+    command = [
+        "git",
+        "-C",
+        str(root),
+        "diff",
+        "--unified=0",
+        "--no-color",
+        "--relative",
+        ref,
+        "--",
+        ".",
+    ]
+    try:
+        process = subprocess.run(
+            command,
+            capture_output=True,
+            text=True,
+            timeout=60,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise ChangedLinesError(f"git diff failed: {exc}") from exc
+    if process.returncode != 0:
+        detail = process.stderr.strip() or f"exit code {process.returncode}"
+        raise ChangedLinesError(f"git diff failed: {detail}")
+    return parse_diff(process.stdout)
+
+
+def gate_findings(
+    findings: Sequence[Finding],
+    errors: Sequence[SourceError],
+    changed: Dict[str, Set[int]],
+) -> Tuple[List[Finding], List[SourceError]]:
+    """``(gated findings, gated errors)`` — what ``--changed`` fails on.
+
+    A finding gates when its anchor line is in the changed set of its
+    file; a parse error gates when its file changed at all.
+    """
+    gated = [
+        finding
+        for finding in findings
+        if finding.line in changed.get(finding.path, frozenset())
+    ]
+    gated_errors = [error for error in errors if error.rel in changed]
+    return gated, gated_errors

@@ -18,10 +18,19 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.analysis import determinism, hotpath, picklability, unitcheck
+from repro.analysis import (
+    determinism,
+    dimensions,
+    forksafety,
+    hotpath,
+    picklability,
+    taint,
+    unitcheck,
+)
 from repro.analysis.findings import Finding, Rule
+from repro.analysis.flow import build_call_graph
 from repro.analysis.index import TreeIndex, build_index
-from repro.analysis.source import SourceError
+from repro.analysis.source import SourceError, SourceFile
 from repro.errors import ConfigurationError
 
 REPORT_SCHEMA = "repro-analysis-report-v1"
@@ -111,6 +120,48 @@ RULES: Tuple[Rule, ...] = (
         family="picklability",
         severity="error",
         summary="lambda stored on a pickled class",
+    ),
+    Rule(
+        id="DIM-MISMATCH",
+        family="dimensions",
+        severity="error",
+        summary="arithmetic combines incompatible physical quantities",
+    ),
+    Rule(
+        id="DIM-RETURN",
+        family="dimensions",
+        severity="error",
+        summary="return value contradicts the function's unit suffix",
+    ),
+    Rule(
+        id="DIM-EXP",
+        family="dimensions",
+        severity="warning",
+        summary="united quantity raised to a non-integer power",
+    ),
+    Rule(
+        id="FORK-GLOBAL-WRITE",
+        family="forksafety",
+        severity="error",
+        summary="worker-reachable write to module-level mutable state",
+    ),
+    Rule(
+        id="FORK-LAZY-INIT",
+        family="forksafety",
+        severity="warning",
+        summary="lazy global initialization in a worker-reachable path",
+    ),
+    Rule(
+        id="FORK-UNPICKLED-STATE",
+        family="forksafety",
+        severity="warning",
+        summary="worker reads state only the coordinator ever writes",
+    ),
+    Rule(
+        id="ALLOW-UNUSED",
+        family="suppressions",
+        severity="warning",
+        summary="inline suppression comment matches no finding",
     ),
 )
 
@@ -239,11 +290,46 @@ def validate_report_document(document: Mapping[str, Any]) -> List[str]:
 
 
 def _run_checkers(index: TreeIndex) -> List[Finding]:
+    # The call graph is built once and shared by every interprocedural
+    # checker (dimensions, transitive taint, fork safety).
+    graph = build_call_graph(index)
     findings: List[Finding] = []
     findings.extend(determinism.check(index))
+    findings.extend(taint.check(index, graph))
     findings.extend(unitcheck.check(index))
+    findings.extend(dimensions.check(index, graph))
     findings.extend(hotpath.check(index))
     findings.extend(picklability.check(index))
+    findings.extend(forksafety.check(index, graph))
+    return findings
+
+
+def _stale_suppressions(sources: Sequence[SourceFile]) -> List[Finding]:
+    """ALLOW-UNUSED findings for comments that matched nothing.
+
+    Only meaningful after a full-rule run: with a rule filter active,
+    a comment for an unselected rule would look unused.  The caller
+    gates on that.
+    """
+    findings: List[Finding] = []
+    for source in sources:
+        for comment_line in sorted(source.allows):
+            for rule_id in sorted(source.allows[comment_line]):
+                if (comment_line, rule_id) in source.used_allows:
+                    continue
+                findings.append(
+                    Finding(
+                        path=source.rel,
+                        line=comment_line,
+                        rule="ALLOW-UNUSED",
+                        severity="warning",
+                        message=(
+                            f"suppression `# repro: allow[{rule_id}]` "
+                            "matches no finding; drop the stale comment"
+                        ),
+                        snippet=source.snippet(comment_line),
+                    )
+                )
     return findings
 
 
@@ -264,6 +350,15 @@ def analyze_tree(options: AnalysisOptions) -> AnalysisReport:
             suppressed.append(finding)
         else:
             kept.append(finding)
+    if not options.rules:
+        # Stale-suppression detection needs the full usage picture: a
+        # rule filter would make unselected rules' comments look stale.
+        for finding in _stale_suppressions(index.files):
+            source = sources.get(finding.path)
+            if source is not None and source.allowed(finding.rule, finding.line):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
     rules_run = options.rules if options.rules else RULE_IDS
     return AnalysisReport(
         root=str(options.root),

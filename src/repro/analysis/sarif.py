@@ -1,0 +1,256 @@
+"""SARIF 2.1.0 export of an analysis report (``repro check --format sarif``).
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is the
+interchange document code-scanning UIs ingest; emitting it makes the
+analyzer's findings show up as annotations on pull requests instead of
+lines in a CI log.  The export covers the full report state:
+
+* live findings become ``results`` at their rule's level;
+* baselined findings (present, but absorbed by the committed audit
+  baseline) carry a ``suppressions`` entry of kind ``"external"``;
+* findings silenced by an inline ``# repro: allow[...]`` comment are
+  exported too, with kind ``"inSource"`` — suppressed is visible, not
+  invisible.
+
+:func:`validate_sarif_document` is the same required-keys-with-types
+idiom the JSON report validator uses, covering every field this module
+emits; the SARIF test suite runs it over generated documents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import RULES, AnalysisReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-check"
+
+#: report severity → SARIF result/configuration level.
+_LEVELS: Dict[str, str] = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptors() -> List[Dict[str, Any]]:
+    return [
+        {
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "properties": {"family": rule.family},
+            "defaultConfiguration": {
+                "level": _LEVELS.get(rule.severity, "warning")
+            },
+        }
+        for rule in RULES
+    ]
+
+
+def _result(
+    finding: Finding,
+    rule_index: Mapping[str, int],
+    uri_prefix: str,
+    suppression_kind: Optional[str] = None,
+    justification: Optional[str] = None,
+) -> Dict[str, Any]:
+    uri = f"{uri_prefix}/{finding.path}" if uri_prefix else finding.path
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {"startLine": max(finding.line, 1)},
+                }
+            }
+        ],
+    }
+    index = rule_index.get(finding.rule)
+    if index is not None:
+        result["ruleIndex"] = index
+    if finding.snippet:
+        result["locations"][0]["physicalLocation"]["region"]["snippet"] = {
+            "text": finding.snippet
+        }
+    if suppression_kind is not None:
+        suppression: Dict[str, Any] = {"kind": suppression_kind}
+        if justification:
+            suppression["justification"] = justification
+        result["suppressions"] = [suppression]
+    return result
+
+
+def to_sarif(
+    report: AnalysisReport,
+    new_findings: Optional[Sequence[Finding]] = None,
+    uri_prefix: str = "",
+) -> Dict[str, Any]:
+    """The SARIF 2.1.0 document for one report.
+
+    ``new_findings`` is the post-baseline view (as computed by the
+    CLI): findings present in the report but not listed there are
+    marked externally suppressed.  ``uri_prefix`` re-roots artifact
+    URIs (the report's paths are relative to the analyzed root, which
+    is usually ``src/repro`` inside the repository code scanning sees).
+    """
+    prefix = uri_prefix.strip("/")
+    rule_index = {rule.id: position for position, rule in enumerate(RULES)}
+    new_set = None if new_findings is None else set(new_findings)
+    results: List[Dict[str, Any]] = []
+    for finding in report.findings:
+        if new_set is not None and finding not in new_set:
+            results.append(
+                _result(
+                    finding,
+                    rule_index,
+                    prefix,
+                    suppression_kind="external",
+                    justification="audited baseline entry",
+                )
+            )
+        else:
+            results.append(_result(finding, rule_index, prefix))
+    for finding in report.suppressed:
+        results.append(
+            _result(
+                finding,
+                rule_index,
+                prefix,
+                suppression_kind="inSource",
+                justification="inline `# repro: allow[...]` comment",
+            )
+        )
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def validate_sarif_document(document: Mapping[str, Any]) -> List[str]:
+    """Schema problems of a SARIF document (empty = valid).
+
+    Validates every field :func:`to_sarif` emits against the SARIF
+    2.1.0 shape: version/schema, driver identity, rule descriptors,
+    and per-result ruleId/level/message/locations structure.
+    """
+    problems: List[str] = []
+    if not isinstance(document, Mapping):
+        return ["SARIF document must be a JSON object"]
+    if document.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    if not isinstance(document.get("$schema"), str):
+        problems.append("missing $schema URI")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("runs must be a non-empty list")
+        return problems
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not isinstance(run, Mapping):
+            problems.append(f"{where}: not an object")
+            continue
+        driver = run.get("tool", {})
+        driver = driver.get("driver", {}) if isinstance(driver, Mapping) else {}
+        if not isinstance(driver, Mapping) or not isinstance(
+            driver.get("name"), str
+        ):
+            problems.append(f"{where}: missing tool.driver.name")
+        rules = driver.get("rules", []) if isinstance(driver, Mapping) else []
+        known_rules = set()
+        if not isinstance(rules, list):
+            problems.append(f"{where}: tool.driver.rules must be a list")
+            rules = []
+        for rule_position, rule in enumerate(rules):
+            if not isinstance(rule, Mapping) or not isinstance(
+                rule.get("id"), str
+            ):
+                problems.append(
+                    f"{where}: rules[{rule_position}] missing string id"
+                )
+                continue
+            known_rules.add(rule["id"])
+            description = rule.get("shortDescription")
+            if not isinstance(description, Mapping) or not isinstance(
+                description.get("text"), str
+            ):
+                problems.append(
+                    f"{where}: rules[{rule_position}] missing "
+                    "shortDescription.text"
+                )
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"{where}: results must be a list")
+            continue
+        for position, result in enumerate(results):
+            spot = f"{where}.results[{position}]"
+            if not isinstance(result, Mapping):
+                problems.append(f"{spot}: not an object")
+                continue
+            if not isinstance(result.get("ruleId"), str):
+                problems.append(f"{spot}: missing ruleId")
+            elif known_rules and result["ruleId"] not in known_rules:
+                problems.append(f"{spot}: undeclared ruleId {result['ruleId']!r}")
+            if result.get("level") not in ("error", "warning", "note", "none"):
+                problems.append(f"{spot}: invalid level")
+            message = result.get("message")
+            if not isinstance(message, Mapping) or not isinstance(
+                message.get("text"), str
+            ):
+                problems.append(f"{spot}: missing message.text")
+            locations = result.get("locations")
+            if not isinstance(locations, list) or not locations:
+                problems.append(f"{spot}: missing locations")
+                continue
+            physical = locations[0]
+            physical = (
+                physical.get("physicalLocation", {})
+                if isinstance(physical, Mapping)
+                else {}
+            )
+            if not isinstance(physical, Mapping):
+                problems.append(f"{spot}: bad physicalLocation")
+                continue
+            artifact = physical.get("artifactLocation")
+            if not isinstance(artifact, Mapping) or not isinstance(
+                artifact.get("uri"), str
+            ):
+                problems.append(f"{spot}: missing artifactLocation.uri")
+            region = physical.get("region")
+            if (
+                not isinstance(region, Mapping)
+                or not isinstance(region.get("startLine"), int)
+                or region["startLine"] < 1
+            ):
+                problems.append(f"{spot}: missing positive region.startLine")
+            suppressions = result.get("suppressions")
+            if suppressions is not None:
+                if not isinstance(suppressions, list):
+                    problems.append(f"{spot}: suppressions must be a list")
+                else:
+                    for suppression in suppressions:
+                        if not isinstance(suppression, Mapping) or suppression.get(
+                            "kind"
+                        ) not in ("inSource", "external"):
+                            problems.append(
+                                f"{spot}: suppression kind must be "
+                                "inSource or external"
+                            )
+    return problems

@@ -468,9 +468,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     check.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    check.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "gate only findings on lines changed since REF "
+            "(default ref: HEAD); analysis still covers the whole tree"
+        ),
+    )
+    check.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     check.add_argument(
         "--rule",
@@ -922,18 +939,60 @@ def _cmd_check(args) -> int:
     new = baseline.new_findings(report.findings)
     stale = baseline.stale_keys(report.findings)
 
+    gating_findings = list(new)
+    gating_errors = list(report.errors)
+    if args.changed is not None:
+        try:
+            changed = analysis.changed_lines(root, args.changed)
+        except analysis.ChangedLinesError as exc:
+            print(f"error: --changed: {exc}", file=sys.stderr)
+            return 2
+        gating_findings, gating_errors = analysis.gate_findings(
+            new, report.errors, changed
+        )
+
+    def emit(text: str) -> None:
+        if args.output is not None:
+            Path(args.output).write_text(text, encoding="utf-8")
+        else:
+            print(text, end="" if text.endswith("\n") else "\n")
+
     if args.format == "json":
         document = report.to_document()
         document["new_count"] = len(new)
         document["new"] = [finding.to_dict() for finding in new]
         document["stale_baseline_keys"] = stale
-        print(json.dumps(document, indent=2, sort_keys=True))
+        if args.changed is not None:
+            document["changed_ref"] = args.changed
+            document["gated_count"] = len(gating_findings)
+            document["gated"] = [f.to_dict() for f in gating_findings]
+        emit(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    elif args.format == "sarif":
+        uri_prefix = ""
+        try:
+            uri_prefix = str(root.resolve().relative_to(Path.cwd().resolve()))
+        except ValueError:
+            pass
+        if uri_prefix == ".":
+            uri_prefix = ""
+        document = analysis.to_sarif(report, new, uri_prefix=uri_prefix)
+        emit(json.dumps(document, indent=2, sort_keys=True) + "\n")
     else:
-        print(analysis.format_text(report, new), end="")
+        lines = analysis.format_text(report, new)
+        extra: List[str] = []
         for key in stale:
-            print(f"stale baseline entry (debt paid — run --update-baseline): {key}")
+            extra.append(
+                f"stale baseline entry (debt paid — run --update-baseline): {key}"
+            )
+        if args.changed is not None:
+            extra.append(
+                f"--changed={args.changed}: {len(gating_findings)} gating "
+                f"finding(s), {len(gating_errors)} parse error(s) on "
+                "changed lines"
+            )
+        emit(lines + ("\n".join(extra) + "\n" if extra else ""))
 
-    failed = bool(new) or bool(report.errors)
+    failed = bool(gating_findings) or bool(gating_errors)
     return 1 if failed else 0
 
 

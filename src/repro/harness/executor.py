@@ -571,6 +571,7 @@ def _seed_stream_cache(entries: List[tuple]) -> None:
     parallel sweeps never recompile per worker either way.
     """
     for key, program in entries:
+        # repro: allow[FORK-GLOBAL-WRITE] initializer seeds this worker's own cache
         stream_cache.seed(key, program)
 
 

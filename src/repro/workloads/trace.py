@@ -161,6 +161,9 @@ class TraceWorkload:
         self._parse()
         if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
             del _PARSE_CACHE[next(iter(_PARSE_CACHE))]
+        # Entries are pure functions of the trace file, so lanes that fill
+        # their own per-process copies stay bitwise-equivalent.
+        # repro: allow[FORK-GLOBAL-WRITE] per-process parse cache by design
         _PARSE_CACHE[self._file_signature] = _ParsedTrace(
             threads=self._threads,
             timing=self._timing,

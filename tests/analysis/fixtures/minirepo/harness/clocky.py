@@ -1,0 +1,29 @@
+"""Harness helpers that reach the host clock (analyzer fixture).
+
+``harness/`` is outside the determinism scope, so nothing here is
+flagged *directly* — but a simulation function that calls into this
+chain is flagged transitively at its call site, with the path in the
+message.
+"""
+
+import time
+
+
+def outer_helper() -> float:
+    # Two frames above the actual hazard: the taint path must show
+    # outer_helper -> inner_helper.
+    return inner_helper()
+
+
+def inner_helper() -> float:
+    return time.perf_counter()
+
+
+def audited_helper() -> float:
+    # An audited hazard must NOT taint callers.
+    # repro: allow[DET-WALLCLOCK] fixture: audited host-side timer
+    return time.perf_counter()
+
+
+def clean_helper(value: float) -> float:
+    return value * 2.0

@@ -1,0 +1,45 @@
+"""Seeded fork-safety violations (analyzer fixture; never imported).
+
+A miniature of the executor lanes: ``run_pool`` ships ``pool_worker``
+to child processes, so everything reachable from it is scanned against
+module-level mutable state.
+"""
+
+_RESULT_CACHE = {}
+_SETTINGS = {"scale": 1.0}
+_CODES = ("a", "b")  # immutable: never flagged
+_LAZY_TABLE = None
+
+
+def pool_worker(point):
+    value = _compute(point)
+    _RESULT_CACHE[point] = value  # FORK-GLOBAL-WRITE (store in worker)
+    return value
+
+
+def _compute(point):
+    table = _ensure_table()
+    return point * _SETTINGS["scale"] + len(table) + len(_CODES)
+
+
+def _ensure_table():
+    global _LAZY_TABLE
+    if _LAZY_TABLE is None:
+        _LAZY_TABLE = [1, 2, 3]  # FORK-LAZY-INIT (guarded global init)
+    return _LAZY_TABLE
+
+
+def set_scale(scale):
+    # Coordinator-only writer: runs before the pool spawns.
+    _SETTINGS["scale"] = scale
+
+
+def run_pool(executor, points):
+    set_scale(2.0)
+    return list(executor.map(pool_worker, points))
+
+
+def coordinator_only(point):
+    # Not worker-reachable: writes here are not flagged.
+    _RESULT_CACHE[point] = point
+    return _RESULT_CACHE

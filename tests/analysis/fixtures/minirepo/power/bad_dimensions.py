@@ -1,0 +1,42 @@
+"""Seeded dimensional-analysis violations (analyzer fixture).
+
+Every hazard here is invisible to the lexical suffix checker: the
+mismatches flow through unsuffixed intermediates and function returns,
+so only the interprocedural dataflow pass can see them.
+"""
+
+
+def power_w(activity: float) -> float:
+    return activity * 1.5e-9 + 0.5  # treated as W via the name suffix
+
+
+def delay_s(cycles: float) -> float:
+    return cycles * 2.5e-10
+
+
+def energy_j(activity: float, cycles: float) -> float:
+    p = power_w(activity)
+    t = delay_s(cycles)
+    return p * t  # W * s unifies with J: clean
+
+
+def adds_power_to_time(activity: float, cycles: float) -> float:
+    p = power_w(activity)
+    t = delay_s(cycles)
+    return p + t  # DIM-MISMATCH (W + s through unsuffixed locals)
+
+
+def mixed_magnitude(clock_ghz: float, ref_hz: float) -> float:
+    fast = clock_ghz
+    slow = ref_hz
+    return fast + slow  # DIM-MISMATCH (s^-1 at 1e9 vs 1)
+
+
+def bogus_energy_j(activity: float) -> float:
+    p = power_w(activity)
+    return p * p  # DIM-RETURN (W^2 returned from a _j function)
+
+
+def fractional_exponent(activity: float) -> float:
+    p = power_w(activity)
+    return p**0.5  # DIM-EXP (fractional exponent vector)

@@ -1,0 +1,23 @@
+"""Suppression-on-decorator fixture (analyzer fixture; never imported).
+
+The DIM-RETURN finding anchors on the ``def`` line, but the natural
+place for the comment is above the decorator stack — coverage must
+bridge the gap.
+"""
+
+import functools
+
+
+def power_w(activity: float) -> float:
+    return activity * 2.0
+
+
+# repro: allow[DIM-RETURN] fixture: deliberately unit-erasing wrapper
+@functools.lru_cache(maxsize=None)
+def cached_ratio_j(activity: float) -> float:
+    p = power_w(activity)
+    return p * p  # W^2 from a _j function: allowed above the decorator
+
+
+def stacked_ok_w(activity: float) -> float:
+    return power_w(activity)

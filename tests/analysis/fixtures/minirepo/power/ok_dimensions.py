@@ -1,0 +1,44 @@
+"""Dimension-clean idioms (analyzer fixture; never imported).
+
+The worked ED²P example from docs/ANALYSIS.md lives here: the product
+``energy * delay**2`` carries W·s³ end to end, and the checker accepts
+it because the compound name suffix ``_j_s2`` declares exactly that.
+"""
+
+GIGA = 1e9
+ZERO_CELSIUS_IN_KELVIN = 273.15
+
+
+def power_w(activity: float) -> float:
+    return activity * 1.5
+
+
+def delay_s(cycles: float) -> float:
+    return cycles * 2.5e-10
+
+
+def energy_j(activity: float, cycles: float) -> float:
+    return power_w(activity) * delay_s(cycles)  # W * s == J
+
+
+def ed2p_j_s2(activity: float, cycles: float) -> float:
+    # Energy-delay-squared product: J * s^2 == W * s^3, matching the
+    # compound `_j_s2` suffix.
+    return energy_j(activity, cycles) * delay_s(cycles) ** 2
+
+
+def to_hz(clock_ghz: float) -> float:
+    return clock_ghz * GIGA  # named scale constant converts magnitude
+
+
+def same_scale_sum_hz(a_hz: float, b_hz: float) -> float:
+    return a_hz + b_hz  # same vector, same magnitude: clean
+
+
+def to_kelvin(temperature_c: float) -> float:
+    return temperature_c + ZERO_CELSIUS_IN_KELVIN  # offset converts C -> K
+
+
+def squared_delay(cycles: float) -> float:
+    d = delay_s(cycles)
+    return d**2  # integer exponent: exact vector arithmetic

@@ -1,0 +1,17 @@
+"""Suppression-on-multi-line-statement fixture (analyzer fixture).
+
+The wall-clock read sits on a continuation line of a multi-line
+statement; the allow comment above the statement must cover every line
+the statement spans.
+"""
+
+import time
+
+
+def profiled_pair() -> tuple:
+    # repro: allow[DET-WALLCLOCK] fixture: host-side timing pair
+    stamps = (
+        time.perf_counter(),
+        time.perf_counter(),
+    )
+    return stamps

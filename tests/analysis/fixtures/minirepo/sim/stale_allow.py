@@ -1,0 +1,9 @@
+"""Stale-suppression fixture (analyzer fixture; never imported).
+
+The allow comment below matches no finding: ALLOW-UNUSED must flag it.
+"""
+
+
+def quiet_function(value: float) -> float:
+    # repro: allow[DET-RANDOM] stale: the RNG call was removed long ago
+    return value * 2.0

@@ -1,0 +1,29 @@
+"""Transitive determinism fixtures (analyzer fixture; never imported).
+
+Simulation code calling out-of-scope helpers: the hazards live in
+``harness/clocky.py``, the findings anchor here, at the boundary call.
+"""
+
+from minirepo.harness.clocky import audited_helper, clean_helper, outer_helper
+from minirepo.telemetry.host_side import wall_now
+
+
+def tainted_step() -> float:
+    # Flagged: outer_helper transitively reaches perf_counter.
+    return outer_helper()
+
+
+def audited_step() -> float:
+    # NOT flagged: the hazard behind audited_helper carries an audited
+    # inline suppression, so it does not taint callers.
+    return audited_helper()
+
+
+def exempt_step() -> float:
+    # NOT flagged: telemetry/ is host-side by contract.
+    return wall_now()
+
+
+def clean_step() -> float:
+    # NOT flagged: the helper chain never reaches a hazard.
+    return clean_helper(1.0)

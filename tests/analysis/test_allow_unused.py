@@ -1,0 +1,61 @@
+"""Suppression hygiene: stale allows, decorator and multi-line coverage."""
+
+from tests.analysis.conftest import findings_for
+
+
+def test_stale_allow_is_flagged(fixture_report):
+    stale = findings_for(fixture_report, "ALLOW-UNUSED")
+    assert [(f.path, f.line) for f in stale] == [("sim/stale_allow.py", 8)]
+    assert "DET-RANDOM" in stale[0].message
+
+
+def test_matched_allows_are_never_reported_stale(fixture_report):
+    # Every other fixture suppression is consumed by a real finding.
+    stale_paths = {
+        f.path for f in findings_for(fixture_report, "ALLOW-UNUSED")
+    }
+    assert "sim/suppressed.py" not in stale_paths
+    assert "power/decorated_allow.py" not in stale_paths
+    assert "sim/multiline_allow.py" not in stale_paths
+    assert "harness/clocky.py" not in stale_paths
+
+
+def test_allow_above_decorator_covers_the_def(fixture_report):
+    suppressed = [
+        (f.rule, f.path, f.line) for f in fixture_report.suppressed
+    ]
+    assert ("DIM-RETURN", "power/decorated_allow.py", 17) in suppressed
+    assert not findings_for(
+        fixture_report, "DIM-RETURN", "power/decorated_allow.py"
+    )
+
+
+def test_allow_covers_every_line_of_a_multiline_statement(fixture_report):
+    covered = {
+        f.line
+        for f in fixture_report.suppressed
+        if f.path == "sim/multiline_allow.py"
+        and f.rule == "DET-WALLCLOCK"
+    }
+    # Both perf_counter reads sit on continuation lines of the tuple.
+    assert covered == {14, 15}
+    assert not findings_for(
+        fixture_report, "DET-WALLCLOCK", "sim/multiline_allow.py"
+    )
+
+
+def test_rule_filtered_runs_skip_stale_detection():
+    from repro.analysis import AnalysisOptions, analyze_tree
+
+    from tests.analysis.conftest import FIXTURE_ROOT
+
+    report = analyze_tree(
+        AnalysisOptions(root=FIXTURE_ROOT, rules=("DET-WALLCLOCK",))
+    )
+    # A filtered run cannot see which other-rule allows matched, so it
+    # must not declare any of them stale.
+    assert not findings_for(report, "ALLOW-UNUSED")
+
+
+def test_live_tree_has_no_stale_allows(live_report):
+    assert not findings_for(live_report, "ALLOW-UNUSED")

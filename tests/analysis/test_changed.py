@@ -1,0 +1,166 @@
+"""Incremental gating: diff parsing and ``repro check --changed``."""
+
+import subprocess
+
+import pytest
+
+from repro.analysis import (
+    ChangedLinesError,
+    SourceError,
+    changed_lines,
+    gate_findings,
+    parse_diff,
+)
+from repro.analysis.findings import Finding
+from repro.cli import main
+
+SAMPLE_DIFF = """\
+diff --git a/sim/engine.py b/sim/engine.py
+--- a/sim/engine.py
++++ b/sim/engine.py
+@@ -10,2 +12,3 @@ def step():
++    a = 1
++    b = 2
++    c = 3
+@@ -40 +44 @@ def other():
++    d = 4
+diff --git a/power/new_model.py b/power/new_model.py
+--- /dev/null
++++ b/power/new_model.py
+@@ -0,0 +1,2 @@
++NEW = 1
++ALSO = 2
+diff --git a/sim/gone.py b/sim/gone.py
+--- a/sim/gone.py
++++ /dev/null
+@@ -1,5 +0,0 @@
+-old
+diff --git a/sim/shrunk.py b/sim/shrunk.py
+--- a/sim/shrunk.py
++++ b/sim/shrunk.py
+@@ -7,3 +7,0 @@ def trimmed():
+-removed
+"""
+
+
+def test_parse_diff_collects_new_side_lines():
+    changed = parse_diff(SAMPLE_DIFF)
+    # Hunk counts honored; a missing count defaults to one line.
+    assert changed["sim/engine.py"] == {12, 13, 14, 44}
+    # Added files are changed in full.
+    assert changed["power/new_model.py"] == {1, 2}
+    # A deleted file disappears rather than mapping to /dev/null.
+    assert "sim/gone.py" not in changed
+    # Pure-deletion hunks leave the file present with no gating lines,
+    # so its parse errors still gate.
+    assert changed["sim/shrunk.py"] == set()
+
+
+def _finding(path, line):
+    return Finding(
+        path=path,
+        line=line,
+        rule="DET-WALLCLOCK",
+        severity="error",
+        message="m",
+        snippet="s",
+    )
+
+
+def test_gate_findings_keeps_only_diff_line_findings():
+    changed = {"sim/engine.py": {12, 13}, "sim/shrunk.py": set()}
+    findings = [
+        _finding("sim/engine.py", 12),   # on a changed line: gates
+        _finding("sim/engine.py", 99),   # pre-existing debt: passes
+        _finding("power/other.py", 12),  # untouched file: passes
+    ]
+    errors = [
+        SourceError(rel="sim/shrunk.py", message="bad syntax"),
+        SourceError(rel="power/other.py", message="bad syntax"),
+    ]
+    gated, gated_errors = gate_findings(findings, errors, changed)
+    assert [(f.path, f.line) for f in gated] == [("sim/engine.py", 12)]
+    # Parse errors gate whenever their file was touched at all.
+    assert [e.rel for e in gated_errors] == ["sim/shrunk.py"]
+
+
+@pytest.fixture()
+def git_tree(tmp_path):
+    def git(*argv):
+        subprocess.run(
+            ["git", "-C", str(tmp_path), *argv],
+            check=True,
+            capture_output=True,
+        )
+
+    git("init", "-q")
+    git("config", "user.email", "t@example.com")
+    git("config", "user.name", "t")
+    sim = tmp_path / "sim"
+    sim.mkdir()
+    module = sim / "mod.py"
+    module.write_text("def f():\n    return 1\n")
+    git("add", "-A")
+    git("commit", "-q", "-m", "seed")
+    return tmp_path, module, git
+
+
+def test_changed_lines_reads_the_git_diff(git_tree):
+    root, module, _git = git_tree
+    module.write_text("def f():\n    return 2\n\n\ndef g():\n    return 3\n")
+    changed = changed_lines(root, "HEAD")
+    assert changed == {"sim/mod.py": {2, 3, 4, 5, 6}}
+
+
+def test_changed_lines_raises_outside_a_repo(tmp_path):
+    with pytest.raises(ChangedLinesError):
+        changed_lines(tmp_path / "not-a-repo", "HEAD")
+
+
+def test_cli_changed_gates_only_new_side_lines(git_tree, capsys):
+    root, module, git = git_tree
+    # Commit a pre-existing violation, then make an unrelated edit:
+    # --changed must NOT gate on the old debt.
+    module.write_text(
+        "import time\n\ndef f():\n    return time.time()\n"
+    )
+    git("add", "-A")
+    git("commit", "-q", "-m", "debt")
+    module.write_text(
+        "import time\n\ndef f():\n    return time.time()\n"
+        "\ndef g():\n    return 9\n"
+    )
+    code = main(
+        ["check", "--root", str(root), "--no-baseline", "--changed=HEAD"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "0 gating finding(s)" in out
+
+    # A violation ON a changed line still gates.
+    module.write_text(
+        "import time\n\ndef f():\n    return time.time()\n"
+        "\ndef g():\n    return time.perf_counter()\n"
+    )
+    code = main(
+        ["check", "--root", str(root), "--no-baseline", "--changed=HEAD"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "perf_counter" in out
+
+
+def test_cli_changed_bad_ref_exits_two(git_tree, capsys):
+    root, _module, _git = git_tree
+    code = main(
+        [
+            "check",
+            "--root",
+            str(root),
+            "--no-baseline",
+            "--changed=no-such-ref",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "no-such-ref" in captured.err or "diff" in captured.err

@@ -1,0 +1,90 @@
+"""Fork-safety: worker-reachable functions vs module-level state."""
+
+from repro.analysis import forksafety
+from repro.analysis.forksafety import worker_roots
+
+from tests.analysis.conftest import findings_for
+
+FORKY = "harness/forky.py"
+
+
+def test_worker_roots_are_discovered_from_map_calls(
+    fixture_index, fixture_graph
+):
+    roots = worker_roots(fixture_index, fixture_graph)
+    names = {fixture_graph.qualname(nid) for nid in roots}
+    assert "pool_worker" in names
+    # run_pool itself is the coordinator, not a worker entry.
+    assert "run_pool" not in names
+
+
+def test_store_in_worker_is_a_global_write(fixture_report):
+    writes = findings_for(fixture_report, "FORK-GLOBAL-WRITE", FORKY)
+    assert [f.line for f in writes] == [16]
+    message = writes[0].message
+    assert "`pool_worker`" in message
+    assert "`_RESULT_CACHE`" in message
+    assert writes[0].severity == "error"
+
+
+def test_guarded_init_is_reported_as_lazy_init(fixture_report):
+    lazy = findings_for(fixture_report, "FORK-LAZY-INIT", FORKY)
+    assert [f.line for f in lazy] == [28]
+    assert "`_ensure_table`" in lazy[0].message
+    assert "`_LAZY_TABLE`" in lazy[0].message
+    assert lazy[0].severity == "warning"
+
+
+def test_coordinator_only_written_state_is_unpickled(fixture_report):
+    reads = findings_for(fixture_report, "FORK-UNPICKLED-STATE", FORKY)
+    assert [f.line for f in reads] == [22]
+    message = reads[0].message
+    assert "`_SETTINGS`" in message
+    # The message names the coordinator-side writer so the fix is
+    # obvious: run it in an initializer or pass the value through.
+    assert "set_scale" in message
+
+
+def test_unreachable_and_immutable_state_stay_silent(fixture_report):
+    fork_rules = {
+        "FORK-GLOBAL-WRITE",
+        "FORK-LAZY-INIT",
+        "FORK-UNPICKLED-STATE",
+    }
+    in_forky = [
+        f
+        for f in fixture_report.findings
+        if f.path == FORKY and f.rule in fork_rules
+    ]
+    # coordinator_only's write (line 44) is not worker-reachable, and
+    # the `_CODES` tuple is immutable: neither may appear.
+    assert {f.line for f in in_forky} == {16, 22, 28}
+    assert not any("coordinator_only" in f.message for f in in_forky)
+    assert not any("_CODES" in f.message for f in in_forky)
+
+
+def test_default_worker_entries_cover_the_executor_lanes():
+    assert set(forksafety.DEFAULT_WORKER_ENTRIES) == {
+        "_PointCall.__call__",
+        "_farm_worker",
+        "_seed_stream_cache",
+    }
+
+
+def test_live_tree_fork_findings_are_all_audited(live_report):
+    fork_rules = {
+        "FORK-GLOBAL-WRITE",
+        "FORK-LAZY-INIT",
+        "FORK-UNPICKLED-STATE",
+    }
+    assert not any(f.rule in fork_rules for f in live_report.findings)
+    # The by-design per-process caches carry inline audits instead.
+    audited = [
+        f for f in live_report.suppressed if f.rule in fork_rules
+    ]
+    assert len(audited) >= 7
+    assert {f.path for f in audited} >= {
+        "telemetry/record.py",
+        "harness/executor.py",
+        "workloads/trace.py",
+    }

@@ -1,0 +1,120 @@
+"""SARIF 2.1.0 export: structure, suppressions, schema validation."""
+
+import copy
+import json
+
+from repro.analysis import (
+    SARIF_VERSION,
+    to_sarif,
+    validate_sarif_document,
+)
+from repro.cli import main
+
+from tests.analysis.conftest import FIXTURE_ROOT
+
+
+def test_fixture_report_exports_valid_sarif(fixture_report):
+    document = to_sarif(fixture_report, new_findings=fixture_report.findings)
+    assert validate_sarif_document(document) == []
+    assert document["version"] == SARIF_VERSION
+    run = document["runs"][0]
+    results = run["results"]
+    assert len(results) == len(fixture_report.findings) + len(
+        fixture_report.suppressed
+    )
+    declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert all(result["ruleId"] in declared for result in results)
+
+
+def test_inline_suppressions_become_in_source(fixture_report):
+    document = to_sarif(fixture_report, new_findings=fixture_report.findings)
+    kinds = {
+        result["ruleId"]: [
+            s["kind"] for s in result.get("suppressions", ())
+        ]
+        for result in document["runs"][0]["results"]
+        if result.get("suppressions")
+    }
+    # The decorated-allow fixture is audited inline.
+    assert kinds.get("DIM-RETURN") == ["inSource"]
+    # Live findings (new ones) carry no suppression objects at all.
+    new_results = [
+        r
+        for r in document["runs"][0]["results"]
+        if not r.get("suppressions")
+    ]
+    assert len(new_results) == len(fixture_report.findings)
+
+
+def test_baselined_findings_become_external_suppressions(fixture_report):
+    # With nothing marked new, every live finding reads as baselined.
+    document = to_sarif(fixture_report, new_findings=[])
+    external = [
+        result
+        for result in document["runs"][0]["results"]
+        if any(
+            s["kind"] == "external"
+            for s in result.get("suppressions", ())
+        )
+    ]
+    assert len(external) == len(fixture_report.findings)
+
+
+def test_uri_prefix_is_joined_onto_every_location(fixture_report):
+    document = to_sarif(
+        fixture_report,
+        new_findings=fixture_report.findings,
+        uri_prefix="tests/analysis/fixtures/minirepo",
+    )
+    uris = {
+        result["locations"][0]["physicalLocation"]["artifactLocation"][
+            "uri"
+        ]
+        for result in document["runs"][0]["results"]
+    }
+    assert uris
+    assert all(
+        uri.startswith("tests/analysis/fixtures/minirepo/")
+        for uri in uris
+    )
+
+
+def test_validator_rejects_malformed_documents(fixture_report):
+    good = to_sarif(fixture_report, new_findings=fixture_report.findings)
+
+    wrong_version = copy.deepcopy(good)
+    wrong_version["version"] = "1.0.0"
+    assert validate_sarif_document(wrong_version)
+
+    missing_message = copy.deepcopy(good)
+    del missing_message["runs"][0]["results"][0]["message"]
+    assert validate_sarif_document(missing_message)
+
+    undeclared_rule = copy.deepcopy(good)
+    undeclared_rule["runs"][0]["results"][0]["ruleId"] = "NOT-A-RULE"
+    assert validate_sarif_document(undeclared_rule)
+
+    no_runs = copy.deepcopy(good)
+    no_runs["runs"] = []
+    assert validate_sarif_document(no_runs)
+
+
+def test_cli_sarif_output_round_trips(tmp_path, capsys):
+    out_file = tmp_path / "repro.sarif"
+    code = main(
+        [
+            "check",
+            "--root",
+            str(FIXTURE_ROOT),
+            "--no-baseline",
+            "--format",
+            "sarif",
+            "--output",
+            str(out_file),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 1  # seeded findings still gate
+    document = json.loads(out_file.read_text())
+    assert validate_sarif_document(document) == []
+    assert document["runs"][0]["results"]
