@@ -1,0 +1,252 @@
+"""Simulation-count benchmark of the adaptive optimizer vs exhaustive.
+
+Run directly (not collected by pytest, which only looks in ``tests/``)::
+
+    PYTHONPATH=src python benchmarks/bench_optimizer.py \
+        [--quick] [--output BENCH_optimizer.json] [--check BASELINE.json]
+
+For each boundary objective (``speedup-budget`` and ``power-iso``) the
+benchmark runs the full exhaustive reference campaign and then the
+adaptive campaign over the same applications and core counts, sharing
+one :class:`~repro.harness.executor.ResultCache` so the adaptive pass
+re-reads the exhaustive pass's simulations instead of re-running them.
+Two things are recorded per objective:
+
+* **equivalence** — every adaptive optimum must be bitwise identical to
+  the exhaustive pick (frequency, voltage, time, power, speedup,
+  metric, feasibility); any divergence fails the run outright;
+* **evaluation_ratio** — adaptive grid evaluations over exhaustive grid
+  evaluations.  Grid-point counts are deterministic (they depend only
+  on the search logic, never on host speed), so the ratio is a
+  machine-independent CI gate.
+
+``--check BASELINE.json`` fails when a shared objective's ratio grew by
+more than ``--tolerance`` (absolute, default 0.05) over the committed
+baseline, or exceeds the hard ``--max-ratio`` ceiling (default 0.50 —
+the issue's "materially fewer simulations" bar).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+
+from repro.harness import ExperimentContext, ResultCache, SweepExecutor, run_optimizer
+from repro.workloads import SPLASH2, workload_by_name
+
+SCHEMA = "bench-optimizer-v1"
+OBJECTIVES = ("speedup-budget", "power-iso")
+FULL_APPS = tuple(model.name for model in SPLASH2)
+FULL_CORE_COUNTS = (1, 2, 4, 8, 16)
+QUICK_APPS = ("FMM", "Cholesky", "Radix")
+QUICK_CORE_COUNTS = (1, 16)
+
+
+def _optimum(row) -> tuple:
+    """Everything the equivalence check compares, bitwise."""
+    return (
+        row.app,
+        row.n,
+        row.frequency_hz,
+        row.voltage,
+        row.execution_time_ps,
+        row.total_power_w,
+        row.speedup,
+        row.metric,
+        row.feasible,
+    )
+
+
+def bench_objective(context, models, core_counts, objective: str) -> dict:
+    """One objective: exhaustive reference, then the adaptive search."""
+    with tempfile.TemporaryDirectory(prefix="bench-optimizer-") as root:
+        executor = SweepExecutor(cache=ResultCache(root))
+        exhaustive = run_optimizer(
+            context,
+            models,
+            objective,
+            core_counts=core_counts,
+            executor=executor,
+            exhaustive=True,
+        )
+        adaptive = run_optimizer(
+            context,
+            models,
+            objective,
+            core_counts=core_counts,
+            executor=executor,
+        )
+    equivalent = [_optimum(r) for r in adaptive.rows] == [
+        _optimum(r) for r in exhaustive.rows
+    ]
+    return {
+        "objective": objective,
+        "searches": len(adaptive.rows),
+        "grid_points": adaptive.rows[0].grid_points if adaptive.rows else 0,
+        "equivalent": equivalent,
+        "exhaustive_evaluations": exhaustive.evaluations,
+        "adaptive_evaluations": adaptive.evaluations,
+        "adaptive_cold_evaluations": adaptive.cold_evaluations,
+        "simulations_saved": adaptive.simulations_saved,
+        "evaluation_ratio": round(adaptive.evaluation_ratio, 4),
+        "rounds": adaptive.rounds,
+    }
+
+
+def run_benchmark(args) -> dict:
+    apps = QUICK_APPS if args.quick else FULL_APPS
+    core_counts = QUICK_CORE_COUNTS if args.quick else FULL_CORE_COUNTS
+    context = ExperimentContext(workload_scale=args.scale)
+    models = [workload_by_name(app) for app in apps]
+    points = []
+    for objective in OBJECTIVES:
+        point = bench_objective(context, models, core_counts, objective)
+        points.append(point)
+        print(
+            f"{objective:15s}: {point['adaptive_evaluations']:4d} of "
+            f"{point['exhaustive_evaluations']:4d} grid evaluations "
+            f"(ratio {point['evaluation_ratio']:.3f}, "
+            f"{point['rounds']} round(s), "
+            f"equivalent={'yes' if point['equivalent'] else 'NO'})"
+        )
+    ratios = [p["evaluation_ratio"] for p in points]
+    return {
+        "schema": SCHEMA,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "config": {
+            "scale": args.scale,
+            "quick": args.quick,
+            "apps": list(apps),
+            "core_counts": list(core_counts),
+        },
+        "points": points,
+        "summary": {
+            "all_equivalent": all(p["equivalent"] for p in points),
+            "max_evaluation_ratio": max(ratios),
+            "total_simulations_saved": sum(
+                p["simulations_saved"] for p in points
+            ),
+        },
+    }
+
+
+def check_regression(
+    report: dict, baseline_path: str, tolerance: float, max_ratio: float
+) -> int:
+    """Exit 1 on lost equivalence or an evaluation-ratio regression."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    reference = {p["objective"]: p for p in baseline.get("points", [])}
+    failures = []
+    compared = 0
+    for point in report["points"]:
+        name = point["objective"]
+        if not point["equivalent"]:
+            failures.append(f"{name}: adaptive diverged from exhaustive")
+        if point["evaluation_ratio"] > max_ratio:
+            failures.append(
+                f"{name}: evaluation ratio {point['evaluation_ratio']:.3f} "
+                f"exceeds the hard {max_ratio:.2f} ceiling"
+            )
+        old = reference.get(name)
+        if old is None:
+            continue
+        compared += 1
+        ceiling = old["evaluation_ratio"] + tolerance
+        if point["evaluation_ratio"] > ceiling:
+            failures.append(
+                f"{name}: evaluation ratio {point['evaluation_ratio']:.3f} > "
+                f"{ceiling:.3f} (baseline {old['evaluation_ratio']:.3f} "
+                f"+ {tolerance:.2f})"
+            )
+    if not compared:
+        print(f"[check] no comparable points in {baseline_path}", file=sys.stderr)
+        return 1
+    if failures:
+        for line in failures:
+            print(f"[check] REGRESSION: {line}", file=sys.stderr)
+        return 1
+    print(
+        f"[check] {compared} objectives equivalent and within "
+        f"+{tolerance:.2f} of baseline ratios"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small app/core-count set for local smoke runs",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="workload scale (default: 0.05 — counts, not wall-clock, "
+        "are what this benchmark gates)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report to PATH",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="fail on lost equivalence or a ratio regression vs BASELINE",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed absolute evaluation-ratio growth for --check "
+        "(default: 0.05)",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=0.50,
+        help="hard ceiling on any objective's evaluation ratio "
+        "(default: 0.50)",
+    )
+    args = parser.parse_args()
+
+    report = run_benchmark(args)
+    summary = report["summary"]
+    print(
+        f"equivalent: {'yes' if summary['all_equivalent'] else 'NO'}, "
+        f"max ratio {summary['max_evaluation_ratio']:.3f}, "
+        f"saved {summary['total_simulations_saved']} simulations"
+    )
+    if not summary["all_equivalent"]:
+        print(
+            "[check] REGRESSION: adaptive diverged from exhaustive",
+            file=sys.stderr,
+        )
+        return 1
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.check:
+        return check_regression(
+            report, args.check, args.tolerance, args.max_ratio
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -216,7 +216,9 @@ def test_online_governor_vs_offline_oracle(benchmark, experiment_context):
             experiment_context,
             model,
             8,
-            PerformanceGovernor(budget_w=budget, step_hz=600e6),
+            PerformanceGovernor.for_context(
+                experiment_context, budget_w=budget, step_hz=600e6
+            ),
         )
         return oracle, governed
 

@@ -35,7 +35,10 @@ def budget_governor(context: ExperimentContext) -> None:
         "Cholesky"
     ][0]
     governed = run_governed(
-        context, model, 8, PerformanceGovernor(budget_w=budget, step_hz=600e6)
+        context,
+        model,
+        8,
+        PerformanceGovernor.for_context(context, budget_w=budget, step_hz=600e6),
     )
     print(
         render_table(
@@ -58,7 +61,7 @@ def slack_governor(context: ExperimentContext) -> None:
     rows = []
     for app in ("Radix", "FMM"):
         governed = run_governed(
-            context, workload_by_name(app), 4, MemorySlackGovernor()
+            context, workload_by_name(app), 4, MemorySlackGovernor.for_context(context)
         )
         rows.append(
             [

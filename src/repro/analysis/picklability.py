@@ -51,6 +51,7 @@ PICKLE_ROOTS: Tuple[str, ...] = (
     "SimPointRow",
     "Figure1Row",
     "Figure2Row",
+    "OptimizerRow",
     "FailedPointRow",
     # executor outcome channel
     "PointOutcome",

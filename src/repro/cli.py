@@ -6,6 +6,9 @@ Installed behaviours (also reachable via ``python -m repro``):
 * ``repro fig2 [--tech ...]`` — analytical Scenario II speedup curve,
 * ``repro fig3 [--apps ...] [--scale X]`` — experimental Scenario I,
 * ``repro fig4 [--apps ...] [--scale X]`` — experimental Scenario II,
+* ``repro optimize [--objective ...]`` — adaptive coarse-to-fine search
+  over the (N, frequency) design space (see docs/MODEL.md); ``fig3``
+  and ``fig4`` accept ``--adaptive`` to route through the same engine,
 * ``repro characterize [--scale X]`` — workload-model signatures,
 * ``repro info`` — machine configuration (Table 1) and suite (Table 2).
 
@@ -380,14 +383,82 @@ def build_parser() -> argparse.ArgumentParser:
     fig3 = commands.add_parser("fig3", help="experimental Figure 3")
     _add_apps_argument(fig3, ("FMM", "LU", "Ocean", "Cholesky", "Radix"))
     _add_scale_argument(fig3)
+    fig3.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "search each (app, N) operating point with the coarse-to-fine "
+            "optimizer (measured min-power at iso-performance) instead of "
+            "the Eq. 7 formula"
+        ),
+    )
     _add_executor_arguments(fig3)
     _add_profile_argument(fig3)
 
     fig4 = commands.add_parser("fig4", help="experimental Figure 4")
     _add_apps_argument(fig4, ("FMM", "Cholesky", "Radix"))
     _add_scale_argument(fig4)
+    fig4.add_argument(
+        "--adaptive",
+        action="store_true",
+        help=(
+            "locate each (app, N) budget point with the coarse-to-fine "
+            "optimizer (same grid optimum, fewer simulations, plus the "
+            "interpolated budget boundary)"
+        ),
+    )
     _add_executor_arguments(fig4)
     _add_profile_argument(fig4)
+
+    optimize = commands.add_parser(
+        "optimize", help="adaptive (N, f) design-space search"
+    )
+    _add_apps_argument(optimize, ("FMM", "Cholesky", "Radix"))
+    optimize.add_argument(
+        "--objective",
+        default="speedup-budget",
+        choices=("edp", "ed2p", "power-iso", "speedup-budget"),
+        help=(
+            "what to optimize per (app, N): min power at iso-performance, "
+            "max speedup under the power budget, or min EDP/ED2P "
+            "(default: speedup-budget)"
+        ),
+    )
+    optimize.add_argument(
+        "--budget",
+        type=_positive_float,
+        default=None,
+        metavar="WATTS",
+        help=(
+            "power budget for speedup-budget (default: the calibrated "
+            "1-core maximum operational power)"
+        ),
+    )
+    optimize.add_argument(
+        "--cores",
+        nargs="+",
+        type=_positive_int,
+        default=[1, 2, 4, 8, 16],
+        metavar="N",
+        help="core counts to search (default: 1 2 4 8 16)",
+    )
+    optimize.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help=(
+            "evaluate the full frequency ladder instead of refining — "
+            "the reference the adaptive search provably matches"
+        ),
+    )
+    optimize.add_argument(
+        "--store",
+        default=None,
+        metavar="FILE",
+        help="save the chosen rows as an 'optimizer' group in FILE",
+    )
+    _add_scale_argument(optimize)
+    _add_executor_arguments(optimize)
+    _add_profile_argument(optimize)
 
     characterize = commands.add_parser(
         "characterize", help="workload-model signatures"
@@ -608,6 +679,16 @@ def _cmd_fig3(args) -> int:
     executor = _executor_from_args(args, telemetry_run, "fig3")
     try:
         models = [workload_by_name(app) for app in args.apps]
+        if args.adaptive:
+            return _adaptive_figure(
+                args,
+                context,
+                executor,
+                models,
+                objective="power-iso",
+                core_counts=(1, 2, 4, 8, 16),
+                title="Figure 3 (adaptive): min power at iso-performance",
+            )
         results = run_scenario1(context, models, executor=executor)
         rows = [
             [
@@ -647,6 +728,16 @@ def _cmd_fig4(args) -> int:
     executor = _executor_from_args(args, telemetry_run, "fig4")
     try:
         models = [workload_by_name(app) for app in args.apps]
+        if args.adaptive:
+            return _adaptive_figure(
+                args,
+                context,
+                executor,
+                models,
+                objective="speedup-budget",
+                core_counts=(1, 2, 4, 8, 12, 16),
+                title="Figure 4 (adaptive): speedup under the 1-core power budget",
+            )
         results = run_scenario2(
             context, models, core_counts=(1, 2, 4, 8, 12, 16), executor=executor
         )
@@ -662,6 +753,120 @@ def _cmd_fig4(args) -> int:
                 title="Figure 4: speedup under the 1-core power budget",
             )
         )
+        _print_executor_summary(executor, args)
+        _print_kernel_summary(context, args, executor)
+        return 0
+    finally:
+        _close_journal(executor)
+        _finalize_telemetry(telemetry_run, executor)
+
+
+def _adaptive_figure(
+    args, context, executor, models, objective, core_counts, title
+) -> int:
+    """Shared ``--adaptive`` path of fig3/fig4: optimize, then render.
+
+    The chosen (N, frequency) points match the default pipelines'
+    bitwise; the table adds the interpolated constraint boundary and
+    the search prints its simulation accounting.
+    """
+    from repro.harness import run_optimizer
+
+    campaign = run_optimizer(
+        context,
+        models,
+        objective,
+        core_counts=core_counts,
+        executor=executor,
+    )
+    rows = [
+        [
+            r.app,
+            r.n,
+            r.frequency_hz / GIGA,
+            r.f_interpolated_hz / GIGA,
+            r.voltage,
+            r.total_power_w,
+            r.speedup,
+            "yes" if r.feasible else "no",
+        ]
+        for r in campaign.rows
+    ]
+    print(
+        render_table(
+            ["app", "N", "f (GHz)", "f~ (GHz)", "V", "P (W)", "speedup", "feasible"],
+            rows,
+            title=title,
+        )
+    )
+    print(campaign.summary())
+    _print_skipped_searches(campaign)
+    _print_executor_summary(executor, args)
+    _print_kernel_summary(context, args, executor)
+    return 0
+
+
+def _print_skipped_searches(campaign) -> None:
+    if campaign.skipped:
+        skipped = ", ".join(f"{app}@N={n}" for app, n in campaign.skipped)
+        print(f"[quarantine] skipped searches: {skipped}", file=sys.stderr)
+
+
+def _cmd_optimize(args) -> int:
+    from repro.harness import run_optimizer, save_results
+    from repro.workloads import workload_by_name
+
+    telemetry_run = _telemetry_run_from_args(args, "optimize")
+    context = _experimental_context(args.scale, args.profile)
+    _set_context_fingerprint(telemetry_run, context)
+    executor = _executor_from_args(args, telemetry_run, "optimize")
+    try:
+        models = [workload_by_name(app) for app in args.apps]
+        campaign = run_optimizer(
+            context,
+            models,
+            args.objective,
+            core_counts=tuple(args.cores),
+            budget_w=args.budget,
+            executor=executor,
+            exhaustive=args.exhaustive,
+        )
+        rows = [
+            [
+                r.app,
+                r.n,
+                r.frequency_hz / GIGA,
+                r.f_interpolated_hz / GIGA,
+                r.voltage,
+                r.total_power_w,
+                r.speedup,
+                r.metric,
+                "yes" if r.feasible else "no",
+            ]
+            for r in campaign.rows
+        ]
+        print(
+            render_table(
+                [
+                    "app",
+                    "N",
+                    "f (GHz)",
+                    "f~ (GHz)",
+                    "V",
+                    "P (W)",
+                    "speedup",
+                    "metric",
+                    "feasible",
+                ],
+                rows,
+                title=f"Optimal (N, f) per application — objective {args.objective}",
+            )
+        )
+        print(campaign.summary())
+        _print_skipped_searches(campaign)
+        if args.store:
+            save_results({"optimizer": campaign.rows}, args.store)
+            print(f"wrote {args.store} ({len(campaign.rows)} rows)")
         _print_executor_summary(executor, args)
         _print_kernel_summary(context, args, executor)
         return 0
@@ -1001,6 +1206,7 @@ _COMMANDS = {
     "fig2": _cmd_fig2,
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
+    "optimize": _cmd_optimize,
     "characterize": _cmd_characterize,
     "info": _cmd_info,
     "trace": _cmd_trace,

@@ -41,6 +41,18 @@ from repro.harness.scenario2 import (
     run_overclocking_study,
     run_scenario2,
 )
+from repro.harness.optimizer import (
+    MaxSpeedupUnderBudget,
+    MinEnergyDelay,
+    MinPowerAtIsoPerformance,
+    OBJECTIVES,
+    OptimizerCampaign,
+    OptimizerRow,
+    objective_by_name,
+    run_optimizer,
+    run_scenario1_adaptive,
+    run_scenario2_adaptive,
+)
 from repro.harness.percore import (
     PerCoreDVFSResult,
     plan_core_frequencies,
@@ -99,6 +111,16 @@ __all__ = [
     "run_scenario2",
     "OverclockRow",
     "run_overclocking_study",
+    "MaxSpeedupUnderBudget",
+    "MinEnergyDelay",
+    "MinPowerAtIsoPerformance",
+    "OBJECTIVES",
+    "OptimizerCampaign",
+    "OptimizerRow",
+    "objective_by_name",
+    "run_optimizer",
+    "run_scenario1_adaptive",
+    "run_scenario2_adaptive",
     "PerCoreDVFSResult",
     "plan_core_frequencies",
     "run_percore_dvfs",

@@ -56,16 +56,45 @@ class Governor(Protocol):
         """Frequency for the next window (will be clamped to the table)."""
 
 
+def _clamp_to_range(
+    f_hz: float, f_max_hz: Optional[float], f_min_hz: Optional[float]
+) -> float:
+    """Clamp a requested frequency into the governor's own range.
+
+    A ``None`` bound means "no intrinsic limit": :func:`run_governed`
+    always clamps the decision into the *context's* V/f table, so a
+    governor built without explicit bounds is correct on any technology
+    node (the 130 nm table tops out at 1.6 GHz, not the 65 nm 3.2 GHz).
+    """
+    if f_max_hz is not None:
+        f_hz = min(f_max_hz, f_hz)
+    if f_min_hz is not None:
+        f_hz = max(f_min_hz, f_hz)
+    return f_hz
+
+
 @dataclass
 class PerformanceGovernor:
     """Chase a power budget with a frequency ladder walk."""
 
     budget_w: float
     step_hz: float = 200e6
-    f_max_hz: float = 3.2e9
-    f_min_hz: float = 200e6
+    #: Optional intrinsic ceiling/floor; ``None`` defers to the
+    #: context's V/f table (see :meth:`for_context` to pin them to a
+    #: specific technology node's range).
+    f_max_hz: Optional[float] = None
+    f_min_hz: Optional[float] = None
     #: Step up only when power is below this fraction of the budget.
     headroom: float = 0.85
+
+    @classmethod
+    def for_context(
+        cls, context: ExperimentContext, budget_w: float, **overrides
+    ) -> "PerformanceGovernor":
+        """A governor whose ladder range is the context's scaling range."""
+        overrides.setdefault("f_max_hz", context.f_nominal)
+        overrides.setdefault("f_min_hz", context.f_min)
+        return cls(budget_w=budget_w, **overrides)
 
     def next_frequency(self, measurement: WindowMeasurement) -> float:
         f = measurement.frequency_hz
@@ -73,7 +102,7 @@ class PerformanceGovernor:
             f -= self.step_hz
         elif measurement.power_w < self.headroom * self.budget_w:
             f += self.step_hz
-        return min(self.f_max_hz, max(self.f_min_hz, f))
+        return _clamp_to_range(f, self.f_max_hz, self.f_min_hz)
 
 
 @dataclass
@@ -83,8 +112,17 @@ class MemorySlackGovernor:
     stall_down_threshold: float = 0.6
     stall_up_threshold: float = 0.35
     step_hz: float = 400e6
-    f_max_hz: float = 3.2e9
-    f_min_hz: float = 200e6
+    f_max_hz: Optional[float] = None
+    f_min_hz: Optional[float] = None
+
+    @classmethod
+    def for_context(
+        cls, context: ExperimentContext, **overrides
+    ) -> "MemorySlackGovernor":
+        """A governor whose ladder range is the context's scaling range."""
+        overrides.setdefault("f_max_hz", context.f_nominal)
+        overrides.setdefault("f_min_hz", context.f_min)
+        return cls(**overrides)
 
     def next_frequency(self, measurement: WindowMeasurement) -> float:
         f = measurement.frequency_hz
@@ -92,7 +130,7 @@ class MemorySlackGovernor:
             f -= self.step_hz
         elif measurement.memory_stall_fraction < self.stall_up_threshold:
             f += self.step_hz
-        return min(self.f_max_hz, max(self.f_min_hz, f))
+        return _clamp_to_range(f, self.f_max_hz, self.f_min_hz)
 
 
 @dataclass(frozen=True)

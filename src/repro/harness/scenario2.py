@@ -4,12 +4,16 @@ The budget is the maximum nominal power of a single core, derived by
 microbenchmarking (Section 3.3's calibration).  For each (application, N)
 the pipeline:
 
-1. profiles power at a descending frequency ladder (the paper profiles
-   200 MHz .. 3.0 GHz in 200 MHz steps plus nominal; we probe the same
-   grid with a binary search, interpolating "by linearly scaling between
-   the two" profiled points like the paper does);
-2. picks the highest grid frequency whose (interpolated) power fits the
-   budget, with the voltage from the V/f table;
+1. profiles power on the paper's frequency ladder (200 MHz .. 3.0 GHz
+   in 200 MHz steps plus nominal), probing the grid with a binary
+   search so only O(log) points simulate;
+2. picks the highest grid frequency whose measured power fits the
+   budget, with the voltage from the V/f table — the chosen point is
+   always *on* the grid here; the paper's "linearly scaling between the
+   two" bracketing profiled points is implemented by the adaptive
+   optimizer (:mod:`repro.harness.optimizer`), which reports the
+   interpolated budget boundary as ``f_interpolated_hz`` metadata
+   alongside the same grid pick;
 3. re-simulates at the chosen point — the "real speedup" run — and
    reports actual versus nominal speedup (Figure 4).
 
@@ -28,6 +32,7 @@ warm re-run simulates nothing.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from functools import partial
 from typing import Dict, List, Optional, Sequence
@@ -56,11 +61,15 @@ class Scenario2Row:
     voltage: float
     power_w: float
     budget_w: float
+    #: The context's nominal frequency, carried so derived properties
+    #: work on any technology node.  The default is the historical
+    #: 65 nm value, which migrates rows stored before the field existed.
+    f_nominal_hz: float = 3.2e9
 
     @property
     def runs_at_nominal(self) -> bool:
         """Whether the configuration fit the budget without throttling."""
-        return self.frequency_hz >= 3.2e9 - 1e6
+        return self.frequency_hz >= self.f_nominal_hz - 1e6
 
 
 @dataclass(frozen=True)
@@ -88,6 +97,7 @@ def _scenario2_point(context: ExperimentContext, task: Scenario2Task) -> Scenari
         voltage=context.vf_table.voltage_for_frequency(frequency),
         power_w=power.total_w,
         budget_w=task.budget_w,
+        f_nominal_hz=context.f_nominal,
     )
 
 
@@ -102,7 +112,11 @@ def run_scenario2(
 
     Points that fail with a library error are recorded by the executor
     as typed failures and omitted from the rows; the campaign carries
-    on.
+    on.  Under a retrying executor the same applies to quarantined
+    profile points: an application whose 1-core nominal baseline is
+    missing cannot be normalised, so it is skipped with a
+    ``[quarantine]`` notice (its failure stays in ``executor.failed``
+    for ``failedpoint`` persistence) instead of crashing the campaign.
     """
     budget = budget_w if budget_w is not None else (
         context.calibration.max_operational_power_w
@@ -118,29 +132,39 @@ def run_scenario2(
         profile_tasks.extend(
             SimPointTask(spec=model.spec, n=n) for n in sorted({1, *counts})
         )
-    profile_rows_list = executor.map_values(
+    profile_outcomes = executor.map(
         partial(simulate_point, context),
         profile_tasks,
         key_configs=[sim_point_key(context, task) for task in profile_tasks],
         precompile=precompile_hook(context),
     )
     times: Dict[str, Dict[int, int]] = {m.name: {} for m in models}
-    for task, row in zip(profile_tasks, profile_rows_list):
-        times[task.spec.name][task.n] = row.execution_time_ps
+    for task, outcome in zip(profile_tasks, profile_outcomes):
+        if outcome.ok:
+            times[task.spec.name][task.n] = outcome.value.execution_time_ps
 
     # Stage 2: one chunky budget-search task per (application, N).
     tasks: List[Scenario2Task] = []
     for model in models:
-        t1 = times[model.name][1]
+        app_times = times[model.name]
+        if 1 not in app_times:
+            print(
+                f"[quarantine] {model.name}: the 1-core nominal profile "
+                "failed; skipping the application",
+                file=sys.stderr,
+            )
+            continue
+        t1 = app_times[1]
         tasks.extend(
             Scenario2Task(
                 spec=model.spec,
                 n=n,
                 budget_w=budget,
                 t1_ps=t1,
-                nominal_speedup=t1 / times[model.name][n],
+                nominal_speedup=t1 / app_times[n],
             )
             for n in supported[model.name]
+            if n in app_times
         )
     outcomes = executor.map(
         partial(_scenario2_point, context),
@@ -175,11 +199,15 @@ class OverclockRow:
     overclock_frequency_hz: float
     power_w: float
     budget_w: float
+    #: The context's nominal frequency, carried so derived properties
+    #: work on any technology node.  The default is the historical
+    #: 65 nm value, which migrates rows stored before the field existed.
+    f_nominal_hz: float = 3.2e9
 
     @property
     def clock_gain(self) -> float:
         """Overclock frequency relative to nominal (e.g. 1.25 = +25 %)."""
-        return self.overclock_frequency_hz / 3.2e9
+        return self.overclock_frequency_hz / self.f_nominal_hz
 
     @property
     def speedup_gain(self) -> float:
@@ -219,7 +247,7 @@ def run_overclocking_study(
     )
     profile = profile_application(context, model, sorted({1, n_threads}))
     t1 = profile.entries[1].execution_time_ps
-    baseline, _ = context.run(model, n_threads, context.f_nominal)
+    baseline, baseline_power = context.run(model, n_threads, context.f_nominal)
     baseline_speedup = t1 / baseline.execution_time_ps
 
     # Extrapolate voltage linearly beyond the table's top bin.
@@ -237,7 +265,7 @@ def run_overclocking_study(
         return _run_boosted(context, model, n_threads, f_hz, boosted_voltage(f_hz))
 
     best_f = context.f_nominal
-    best_result, best_power = baseline, None
+    best_result, best_power = baseline, baseline_power
     f = context.f_nominal + step_hz
     while f <= f_boost_max_hz + 1e6:
         result, power = run_at(f)
@@ -246,9 +274,6 @@ def run_overclocking_study(
         best_f, best_result, best_power = f, result, power
         f += step_hz
 
-    if best_power is None:
-        _result, best_power = context.run(model, n_threads, context.f_nominal)
-        best_result = _result
     return OverclockRow(
         app=model.name,
         n=n_threads,
@@ -257,6 +282,7 @@ def run_overclocking_study(
         overclock_frequency_hz=best_f,
         power_w=best_power.total_w,
         budget_w=budget,
+        f_nominal_hz=context.f_nominal,
     )
 
 

@@ -21,6 +21,7 @@ from repro.core.sweeps import Figure1Row, Figure2Row
 from repro.errors import ConfigurationError
 from repro.harness.designspace import DesignPoint, DesignRunRow
 from repro.harness.journal import FailedPointRow
+from repro.harness.optimizer import OptimizerRow
 from repro.harness.percore import PerCoreDVFSResult
 from repro.harness.profiling import SimPointRow
 from repro.harness.scenario1 import Scenario1Row
@@ -41,6 +42,7 @@ _ROW_TYPES = {
     "simpoint": SimPointRow,
     "figure1": Figure1Row,
     "figure2": Figure2Row,
+    "optimizer": OptimizerRow,
     # Degraded campaigns persist their quarantined/failed points so a
     # partial store is explicit about what is missing and why.
     "failedpoint": FailedPointRow,
@@ -58,6 +60,7 @@ Row = Union[
     SimPointRow,
     Figure1Row,
     Figure2Row,
+    OptimizerRow,
     FailedPointRow,
 ]
 

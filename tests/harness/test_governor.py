@@ -47,12 +47,32 @@ class TestPerformanceGovernor:
             measurement(frequency=2.0e9, power=9.0)
         ) == pytest.approx(2.0e9)
 
-    def test_clamped_to_range(self):
-        gov = PerformanceGovernor(budget_w=10.0)
+    def test_clamped_to_explicit_range(self):
+        gov = PerformanceGovernor(budget_w=10.0, f_max_hz=3.2e9, f_min_hz=200e6)
         assert gov.next_frequency(measurement(power=0.1)) == pytest.approx(3.2e9)
         assert gov.next_frequency(
             measurement(frequency=200e6, power=100.0)
         ) == pytest.approx(200e6)
+
+    def test_default_has_no_intrinsic_range(self):
+        # Regression: the default used to hardcode the 65 nm 3.2 GHz
+        # ceiling, silently wrong for any other technology node.  The
+        # default now defers clamping to the context's V/f table.
+        gov = PerformanceGovernor(budget_w=10.0)
+        assert gov.f_max_hz is None
+        assert gov.f_min_hz is None
+
+    def test_for_context_derives_range_from_technology(self):
+        from repro.tech import NODE_130NM
+
+        context_130 = ExperimentContext(tech=NODE_130NM, workload_scale=0.1)
+        gov = PerformanceGovernor.for_context(context_130, budget_w=10.0)
+        assert gov.f_max_hz == pytest.approx(1.6e9)
+        assert gov.f_min_hz == pytest.approx(200e6)
+        # The 130 nm ladder tops out at its own nominal bin, not 3.2 GHz.
+        assert gov.next_frequency(
+            measurement(frequency=1.6e9, power=0.1)
+        ) == pytest.approx(1.6e9)
 
 
 class TestMemorySlackGovernor:
@@ -105,6 +125,19 @@ class TestRunGoverned:
         assert run.total_time_s > 0
         assert run.total_energy_j > 0
         assert run.average_power_w > 0
+
+    def test_130nm_governed_run_stays_in_table_range(self):
+        # Regression for the hardcoded 3.2e9 ceiling: a 130 nm governed
+        # run must never request (or realise) a frequency above the
+        # node's 1.6 GHz nominal.
+        from repro.tech import NODE_130NM
+
+        context_130 = ExperimentContext(tech=NODE_130NM, workload_scale=0.1)
+        gov = MemorySlackGovernor.for_context(context_130)
+        assert gov.f_max_hz == pytest.approx(1.6e9)
+        run = run_governed(context_130, workload_by_name("FMM"), 2, gov)
+        assert run.total_time_s > 0
+        assert all(f <= 1.6e9 + 1e6 for f in run.frequency_trajectory)
 
     def test_validation(self, context):
         gov = MemorySlackGovernor()
